@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark reproduces one figure or table of the paper.  The benchmark
+bodies print the regenerated rows/series (so ``pytest benchmarks/
+--benchmark-only -s`` shows the paper-shaped output) and assert the
+qualitative claims the paper makes about them; pytest-benchmark records the
+wall-clock cost of regenerating each artefact.
+"""
+
+from __future__ import annotations
+
+
+def print_series_summary(title: str, series: dict) -> None:
+    """Print a compact summary of a {label: {metric: array}} series dict."""
+    print(f"\n{title}")
+    for label, data in series.items():
+        parts = []
+        for key, values in data.items():
+            try:
+                if len(values) == 1:
+                    parts.append(f"{key}={float(values[0]):.4g}")
+            except TypeError:
+                continue
+        print(f"  {label}: " + ", ".join(parts))

@@ -1,0 +1,75 @@
+"""BitTorrent share-ratio analysis (the paper's Section 6 / Figure 11).
+
+Run with ``python examples/bittorrent_share_ratio.py``.
+
+Given a realistic upload-bandwidth distribution, the example predicts the
+expected download/upload ratio every class of peer will experience under
+Tit-for-Tat, then answers two practical questions the paper raises:
+
+* how many extra slots should a very fast peer open to avoid wasting its
+  upload capacity, and
+* what slot count would a selfish ("rational") peer converge to, and why
+  the default of 4 protects obedient peers from that drift.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bittorrent import (
+    analytic_efficiency,
+    efficiency_observations,
+    rational_best_response,
+    recommended_default_slots,
+    saroiu_like_distribution,
+)
+
+
+def main() -> None:
+    distribution = saroiu_like_distribution()
+    print("Upstream bandwidth distribution (Figure 10 substitute):")
+    for q in (0.1, 0.25, 0.5, 0.75, 0.9, 0.99):
+        print(f"  {int(q * 100):3d}th percentile: {distribution.quantile(q):10.0f} kbps")
+
+    # Expected share ratio vs upload bandwidth (Figure 11).
+    curve = analytic_efficiency(n=800, b0=3, expected_degree=20.0, seed=1)
+    observations = efficiency_observations(curve)
+    print("\nExpected D/U ratio (b0 = 3 TFT slots, d = 20 known peers):")
+    for percentile in (100, 90, 75, 50, 25, 10, 1):
+        ratio = curve.efficiency_at_percentile(percentile)
+        print(f"  bandwidth percentile {percentile:3d}: expected ratio {ratio:.2f}")
+    print(
+        f"\n  best peer ratio   : {observations['best_peer_efficiency']:.2f}  "
+        "(fast peers cannot find equally fast partners)"
+    )
+    print(f"  median peer ratio : {observations['median_efficiency']:.2f}")
+    print(f"  best observed peak: {observations['max_efficiency']:.2f}")
+
+    # Effect of adding slots for a very fast peer: more slots lower its
+    # upload per slot (bringing it closer to the ranks of ordinary peers and
+    # avoiding wasted capacity), which is the paper's explanation for the
+    # larger default slot counts of high-bandwidth clients.
+    fast_upload = distribution.quantile(0.99)
+    median_per_slot = distribution.quantile(0.5) / 3
+    print(f"\nA fast peer ({fast_upload:.0f} kbps) comparing slot counts:")
+    for slots in (3, 6, 10, 20):
+        per_slot = fast_upload / slots
+        print(
+            f"  {slots:2d} slots -> {per_slot:8.0f} kbps per slot "
+            f"({per_slot / median_per_slot:5.1f}x the median peer's slot)"
+        )
+
+    # The rational (selfish) slot count vs the protocol default.
+    best = rational_best_response(400.0, population_slots=3, n=300, seed=3)
+    defaults = recommended_default_slots()
+    print(
+        f"\nA rational average peer would keep {best} TFT slot(s) "
+        f"(the degenerate Nash equilibrium);\n"
+        f"the default client uses {defaults['tft_slots']} TFT + "
+        f"{defaults['optimistic_slots']} optimistic = {defaults['total']} slots, "
+        "the paper's connectivity/incentive trade-off."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Run a full Tit-for-Tat swarm and measure its stratification.
+
+Run with ``python examples/swarm_simulation.py``.
+
+The example exercises the BitTorrent substrate end to end: a tracker hands
+out random peer sets, leechers trade pieces under TFT + optimistic unchoke
+with rarest-first selection, and we then check the paper's predictions --
+download rates follow upload capacity, reciprocated TFT partners have
+similar bandwidth, and fast peers end up with the worst share ratios.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bittorrent import SwarmConfig, SwarmSimulator, stratification_index
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    leechers = 50
+    bandwidths = np.exp(rng.uniform(np.log(100.0), np.log(2000.0), leechers))
+
+    config = SwarmConfig(
+        leechers=leechers,
+        seeds=2,
+        piece_count=800,
+        rounds=100,
+        regular_slots=3,
+        optimistic_slots=1,
+        announce_size=20,
+        start_completion=0.25,
+        seed_upload_kbps=2000.0,
+    )
+    print(
+        f"Simulating a swarm of {leechers} leechers + {config.seeds} seeds, "
+        f"{config.piece_count} pieces of {config.piece_size_kb:.0f} kb..."
+    )
+    result = SwarmSimulator(config, bandwidths=bandwidths, seed=7).run()
+
+    rates = result.download_rates()
+    ratios = result.share_ratios()
+    uploads = {p.peer_id: p.upload_kbps for p in result.leechers()}
+    order = sorted(uploads, key=lambda pid: -uploads[pid])
+
+    print(f"\nCompleted: {result.completed}/{leechers} in {result.rounds_run} rounds")
+    print("\npeer   upload(kbps)  download(kbps)  share ratio")
+    for pid in order[:5] + order[len(order) // 2 - 2: len(order) // 2 + 3] + order[-5:]:
+        print(f"{pid:4d}   {uploads[pid]:11.0f}  {rates[pid]:13.0f}  {ratios[pid]:10.2f}")
+
+    ids = sorted(rates)
+    correlation = np.corrcoef([uploads[i] for i in ids], [rates[i] for i in ids])[0, 1]
+    print(f"\nupload/download correlation : {correlation:.3f}")
+    print(f"stratification index (TFT)  : {stratification_index(result):.3f}")
+    print(
+        f"stratification index (volume): "
+        f"{stratification_index(result, use_tft_pairs=False):.3f} "
+        "(optimistic-unchoke altruism pulls this down)"
+    )
+
+
+if __name__ == "__main__":
+    main()

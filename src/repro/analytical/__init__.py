@@ -1,0 +1,65 @@
+"""Analytical models for matching on random acceptance graphs (Section 5).
+
+* :mod:`repro.analytical.one_matching` -- Algorithm 2, the independent
+  1-matching recursion for ``D(i, j)``.
+* :mod:`repro.analytical.b_matching` -- Algorithm 3, the independent
+  b0-matching extension tracking per-choice distributions.
+* :mod:`repro.analytical.exact_small` -- exact probabilities by enumeration
+  over all graphs (Figure 7's counter-example).
+* :mod:`repro.analytical.fluid_limit` -- the scaling limits of Section 5.2,
+  including the exponential fluid limit of Conjecture 1.
+* :mod:`repro.analytical.distributions` -- statistics of mate-rank
+  distributions (Figure 8's three regimes).
+* :mod:`repro.analytical.validation` -- Monte-Carlo validation of the
+  independence assumption (Figure 9).
+"""
+
+from repro.analytical.b_matching import BMatchingModel, independent_b_matching
+from repro.analytical.distributions import MateDistribution, shift_similarity
+from repro.analytical.exact_small import (
+    exact_choice_probabilities,
+    exact_match_probabilities,
+    figure7_exact_values,
+    figure7_independent_values,
+)
+from repro.analytical.fluid_limit import (
+    FluidLimitComparison,
+    best_peer_scaled_distribution,
+    fluid_limit_cdf,
+    fluid_limit_comparison,
+    fluid_limit_density,
+)
+from repro.analytical.one_matching import (
+    OneMatchingModel,
+    independent_one_matching,
+    match_probability_matrix,
+)
+from repro.analytical.validation import (
+    MonteCarloChoiceDistribution,
+    ValidationReport,
+    simulate_choice_distribution,
+    validate_independent_model,
+)
+
+__all__ = [
+    "BMatchingModel",
+    "independent_b_matching",
+    "MateDistribution",
+    "shift_similarity",
+    "exact_choice_probabilities",
+    "exact_match_probabilities",
+    "figure7_exact_values",
+    "figure7_independent_values",
+    "FluidLimitComparison",
+    "best_peer_scaled_distribution",
+    "fluid_limit_cdf",
+    "fluid_limit_comparison",
+    "fluid_limit_density",
+    "OneMatchingModel",
+    "independent_one_matching",
+    "match_probability_matrix",
+    "MonteCarloChoiceDistribution",
+    "ValidationReport",
+    "simulate_choice_distribution",
+    "validate_independent_model",
+]

@@ -1,0 +1,187 @@
+"""Algorithm 3: the independent b0-matching model.
+
+For constant b0-matching on an Erdős–Rényi acceptance graph, the paper
+tracks ``D_c(i, j)``, the probability that the c-th (best) choice of peer i
+is peer j, through the joint quantity ``D^{cj}_{ci}(i, j)`` -- the
+probability that j is choice ``ci`` of i *and* i is choice ``cj`` of j.
+Under the independence assumption (Assumption 2),
+
+.. math::
+
+   D^{c_j}_{c_i}(i, j) = p \\cdot
+      \\Big(\\sum_{k<j} D_{c_i - 1}(i, k) - D_{c_i}(i, k)\\Big) \\cdot
+      \\Big(\\sum_{k<i} D_{c_j - 1}(j, k) - D_{c_j}(j, k)\\Big)
+
+with the convention ``D_0(\\cdot, k)`` summing to 1.  (The paper's printed
+equation (4) swaps the two upper summation limits; we use the pairing that
+is consistent with the 1-matching equation (2), to which this reduces when
+``b0 = 1``.)
+
+The implementation processes peers best-first and keeps running cumulative
+sums, so the cost is O(n * window * b0) where ``window`` is the effective
+support of each row (the recurrence is truncated once a row's remaining
+probability mass drops below a configurable threshold).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+__all__ = ["BMatchingModel", "independent_b_matching"]
+
+
+@dataclass
+class BMatchingModel:
+    """Result of the independent b0-matching computation.
+
+    Attributes
+    ----------
+    n, p, b0:
+        Model parameters.
+    choice_rows:
+        ``choice_rows[c][i]`` is the numpy array ``D_c(i, .)`` (indexed by
+        ``j - 1``) for every requested peer ``i`` and choice ``c`` in
+        ``1..b0``.
+    filled_slots:
+        ``filled_slots[i][c]`` is the total probability that choice ``c`` of
+        peer ``i`` is filled at all (``sum_j D_c(i, j)``).
+    """
+
+    n: int
+    p: float
+    b0: int
+    choice_rows: Dict[int, Dict[int, np.ndarray]]
+    filled_slots: Dict[int, Dict[int, float]]
+
+    def row(self, choice: int, i: int) -> np.ndarray:
+        """``D_choice(i, .)`` for a requested peer i."""
+        if choice not in self.choice_rows:
+            raise KeyError(f"choice must be in 1..{self.b0}, got {choice}")
+        if i not in self.choice_rows[choice]:
+            raise KeyError(
+                f"row {i} was not requested; available: {sorted(self.choice_rows[choice])}"
+            )
+        return self.choice_rows[choice][i]
+
+    def total_row(self, i: int) -> np.ndarray:
+        """``sum_c D_c(i, .)``: the expected-mate distribution of peer i."""
+        total = np.zeros(self.n, dtype=float)
+        for choice in range(1, self.b0 + 1):
+            total += self.row(choice, i)
+        return total
+
+    def expected_mates(self, i: int) -> float:
+        """Expected number of filled slots of peer i."""
+        return float(sum(self.filled_slots[i].values()))
+
+    def probability(self, choice: int, i: int, j: int) -> float:
+        """``D_choice(i, j)``."""
+        if i == j:
+            return 0.0
+        return float(self.row(choice, i)[j - 1])
+
+
+def independent_b_matching(
+    n: int,
+    p: float,
+    b0: int,
+    *,
+    rows: Optional[Iterable[int]] = None,
+    truncation: float = 1e-14,
+) -> BMatchingModel:
+    """Run Algorithm 3 and return the independent b0-matching model.
+
+    Parameters
+    ----------
+    n:
+        Number of peers (ranks 1..n, 1 best).
+    p:
+        Erdős–Rényi edge probability.
+    b0:
+        Constant number of collaboration slots per peer.
+    rows:
+        Peer ranks whose per-choice distributions are stored (all by default).
+    truncation:
+        Within one row, stop scanning worse peers once the probability that
+        the row's last slot is still open falls below this threshold (all
+        remaining entries are then smaller than ``p * truncation``).
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    if b0 <= 0:
+        raise ValueError("b0 must be positive")
+
+    wanted = set(range(1, n + 1)) if rows is None else {int(r) for r in rows}
+    for r in wanted:
+        if not 1 <= r <= n:
+            raise ValueError(f"requested row {r} outside 1..{n}")
+
+    # bcol[c][j-1] = sum over processed better peers k of D_c(j, k):
+    # probability that choice c of peer j is already taken by a peer better
+    # than the row currently being processed.  bcol[0] is the constant 1.
+    bcol = [np.ones(n, dtype=float)] + [np.zeros(n, dtype=float) for _ in range(b0)]
+
+    stored: Dict[int, Dict[int, np.ndarray]] = {
+        i: {c: np.zeros(n, dtype=float) for c in range(1, b0 + 1)} for i in wanted
+    }
+    filled: Dict[int, Dict[int, float]] = {
+        i: {c: 0.0 for c in range(1, b0 + 1)} for i in range(1, n + 1)
+    }
+
+    for i in range(1, n + 1):
+        # s[c] = cumulative mass of D_c(i, k) over k scanned so far (k < j).
+        # The contribution of peers better than i is bcol[c][i-1].
+        s = [1.0] + [float(bcol[c][i - 1]) for c in range(1, b0 + 1)]
+        store_row = stored.get(i)
+
+        for j in range(i + 1, n + 1):
+            jm = j - 1
+            # Probability that the last slot of i is still open; once every
+            # slot's mass is exhausted nothing further can be assigned.
+            open_i = 1.0 - s[b0]
+            if open_i < truncation:
+                break
+
+            # factor_j[c] = P(choice c of j is the first one not already taken
+            # by a peer better than i) ; W = their sum = P(j can still take i).
+            w = 0.0
+            factor_j: List[float] = [0.0] * (b0 + 1)
+            for c in range(1, b0 + 1):
+                fc = float(bcol[c - 1][jm]) - float(bcol[c][jm])
+                factor_j[c] = fc
+                w += fc
+
+            if w > 0.0:
+                # D_c(i, j) = p * (s[c-1] - s[c]) * W, with every gap taken
+                # from the sums up to column j-1 (snapshot before updating).
+                gaps = [s[c - 1] - s[c] for c in range(1, b0 + 1)]
+                v = sum(gaps)
+                for c in range(1, b0 + 1):
+                    d_c = p * gaps[c - 1] * w
+                    if d_c != 0.0:
+                        s[c] += d_c
+                        filled[i][c] += d_c
+                        if store_row is not None:
+                            store_row[c][jm] = d_c
+                # D_c(j, i) = p * factor_j[c] * V ; update j's column sums and
+                # its stored row when requested.
+                store_j = stored.get(j)
+                pv = p * v
+                for c in range(1, b0 + 1):
+                    d_cj = pv * factor_j[c]
+                    if d_cj != 0.0:
+                        bcol[c][jm] += d_cj
+                        filled[j][c] += d_cj
+                        if store_j is not None:
+                            store_j[c][i - 1] = d_cj
+
+    kept = {c: {i: stored[i][c] for i in stored} for c in range(1, b0 + 1)}
+    kept_filled = {i: dict(filled[i]) for i in filled}
+    return BMatchingModel(
+        n=n, p=p, b0=b0, choice_rows=kept, filled_slots=kept_filled
+    )

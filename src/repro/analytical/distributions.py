@@ -1,0 +1,137 @@
+"""Utilities for analysing mate-rank distributions (Figure 8).
+
+Figure 8 of the paper shows three regimes of the 1-matching distribution
+``D(i, .)`` for n = 5000 and p = 0.5%:
+
+* well-ranked peers (e.g. i = 200): an asymmetric, nearly geometric right
+  tail -- the best peers can only pair downwards;
+* central peers (e.g. i = 2500): a symmetric distribution that simply
+  *shifts* with the peer's rank (the "finite horizon" / stratification
+  property);
+* badly-ranked peers (e.g. i = 4800): the shifted distribution is truncated
+  by the end of the ranking, leaving a positive probability of staying
+  unmatched.
+
+:class:`MateDistribution` wraps one row of Algorithm 2/3 output and exposes
+the statistics needed to verify these three claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["MateDistribution", "shift_similarity"]
+
+
+@dataclass
+class MateDistribution:
+    """A (sub-)probability distribution over partner ranks 1..n."""
+
+    peer: int
+    probabilities: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.probabilities = np.asarray(self.probabilities, dtype=float)
+        if self.probabilities.ndim != 1:
+            raise ValueError("probabilities must be a 1-D array")
+        if np.any(self.probabilities < -1e-12):
+            raise ValueError("probabilities cannot be negative")
+
+    @property
+    def n(self) -> int:
+        """Number of peers in the system."""
+        return int(self.probabilities.shape[0])
+
+    @property
+    def mass(self) -> float:
+        """Total probability of being matched."""
+        return float(self.probabilities.sum())
+
+    @property
+    def unmatched_probability(self) -> float:
+        """Probability of not being matched at all."""
+        return max(0.0, 1.0 - self.mass)
+
+    def mean_rank(self) -> float:
+        """Expected partner rank, conditioned on being matched."""
+        if self.mass <= 0:
+            raise ValueError("distribution has no mass")
+        ranks = np.arange(1, self.n + 1)
+        return float((ranks * self.probabilities).sum() / self.mass)
+
+    def mean_offset(self) -> float:
+        """Expected signed rank offset (partner rank - own rank), conditioned."""
+        return self.mean_rank() - self.peer
+
+    def mode_rank(self) -> int:
+        """Partner rank with the highest probability."""
+        return int(np.argmax(self.probabilities)) + 1
+
+    def std_offset(self) -> float:
+        """Standard deviation of the partner rank, conditioned on matching."""
+        if self.mass <= 0:
+            raise ValueError("distribution has no mass")
+        ranks = np.arange(1, self.n + 1)
+        mean = self.mean_rank()
+        variance = ((ranks - mean) ** 2 * self.probabilities).sum() / self.mass
+        return float(np.sqrt(variance))
+
+    def quantile_rank(self, q: float) -> int:
+        """Smallest rank whose cumulative (conditional) probability reaches q."""
+        if not 0 < q <= 1:
+            raise ValueError("q must be in (0, 1]")
+        if self.mass <= 0:
+            raise ValueError("distribution has no mass")
+        cumulative = np.cumsum(self.probabilities) / self.mass
+        return int(np.searchsorted(cumulative, q)) + 1
+
+    def offsets_and_probabilities(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(offsets, probabilities) with offsets centred at the peer's rank."""
+        offsets = np.arange(1, self.n + 1) - self.peer
+        return offsets, self.probabilities.copy()
+
+    def asymmetry(self) -> float:
+        """Mass above the peer's rank minus mass below it (right minus left).
+
+        A strongly positive value means the peer mostly pairs with worse
+        peers (the best-peer regime); near zero means the symmetric central
+        regime.
+        """
+        below = float(self.probabilities[: self.peer - 1].sum())
+        above = float(self.probabilities[self.peer:].sum())
+        return above - below
+
+    def truncated_mass(self) -> float:
+        """Mass that would fall beyond rank n if the distribution kept shifting.
+
+        Estimated as the unmatched probability; for central peers it is ~0,
+        for the worst peers it grows (Figure 8(c)'s blue area).
+        """
+        return self.unmatched_probability
+
+
+def shift_similarity(
+    first: MateDistribution, second: MateDistribution
+) -> float:
+    """How well ``second`` is a pure shift of ``first`` (1 = identical shapes).
+
+    Both distributions are re-centred on their own peer's rank and compared
+    by total-variation overlap.  Central peers of the paper's Figure 8(b)
+    should give values close to 1, demonstrating the stratification /
+    finite-horizon property.
+    """
+    if first.n != second.n:
+        raise ValueError("distributions must live on the same population size")
+    offsets_a, probs_a = first.offsets_and_probabilities()
+    offsets_b, probs_b = second.offsets_and_probabilities()
+    lookup_b: Dict[int, float] = dict(zip(offsets_b.tolist(), probs_b.tolist()))
+    overlap = 0.0
+    for offset, prob in zip(offsets_a.tolist(), probs_a.tolist()):
+        overlap += min(prob, lookup_b.get(offset, 0.0))
+    denominator = min(first.mass, second.mass)
+    if denominator <= 0:
+        return 0.0
+    return overlap / denominator

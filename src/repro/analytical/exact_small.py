@@ -1,0 +1,148 @@
+"""Exact matching probabilities by enumeration over all acceptance graphs.
+
+For small systems the distribution ``D(i, j)`` can be computed exactly by
+enumerating all ``2^(n(n-1)/2)`` Erdős–Rényi graphs, solving the stable
+b-matching of each (Algorithm 1) and weighting by the graph probability.
+This is the construction behind the paper's Figure 7 (n = 3), which exhibits
+the error introduced by the independence assumption of Algorithm 2:
+
+    D_exact(2, 3) = p (1 - p)^2
+    D_algo2(2, 3) = p (1 - p) (1 - p (1 - p))
+                  = D_exact(2, 3) + p^3 (1 - p)
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.acceptance import AcceptanceGraph
+from repro.core.peer import PeerPopulation
+from repro.core.ranking import GlobalRanking
+from repro.core.stable import stable_configuration
+from repro.graphs.base import UndirectedGraph
+
+__all__ = [
+    "exact_match_probabilities",
+    "exact_choice_probabilities",
+    "figure7_exact_values",
+    "figure7_independent_values",
+]
+
+_MAX_EXACT_PEERS = 7
+
+
+def _all_pairs(n: int) -> List[Tuple[int, int]]:
+    return [(i, j) for i in range(1, n + 1) for j in range(i + 1, n + 1)]
+
+
+def _iterate_graphs(n: int, p: float):
+    """Yield (graph, probability) over all labelled graphs on peers 1..n."""
+    pairs = _all_pairs(n)
+    for mask in range(1 << len(pairs)):
+        graph = UndirectedGraph(range(1, n + 1))
+        probability = 1.0
+        for bit, (u, v) in enumerate(pairs):
+            if mask >> bit & 1:
+                graph.add_edge(u, v)
+                probability *= p
+            else:
+                probability *= 1.0 - p
+        yield graph, probability
+
+
+def exact_match_probabilities(n: int, p: float, *, slots: int = 1) -> np.ndarray:
+    """Exact matrix ``D[i-1, j-1] = P(i matched with j)`` for peers 1..n.
+
+    For ``slots > 1`` the entry is the probability that i and j are matched
+    together in the stable b-matching (regardless of choice order).
+
+    Raises
+    ------
+    ValueError
+        If ``n`` exceeds the enumeration limit (the number of graphs grows
+        as ``2^(n(n-1)/2)``).
+    """
+    if n > _MAX_EXACT_PEERS:
+        raise ValueError(
+            f"exact enumeration is limited to n <= {_MAX_EXACT_PEERS} (got {n})"
+        )
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+
+    matrix = np.zeros((n, n), dtype=float)
+    for graph, probability in _iterate_graphs(n, p):
+        if probability == 0.0:
+            continue
+        population = PeerPopulation.ranked(n, slots=slots)
+        acceptance = AcceptanceGraph(population, graph.copy())
+        matching = stable_configuration(acceptance)
+        for u, v in matching.pairs():
+            matrix[u - 1, v - 1] += probability
+            matrix[v - 1, u - 1] += probability
+    return matrix
+
+
+def exact_choice_probabilities(
+    n: int, p: float, b0: int
+) -> Dict[int, np.ndarray]:
+    """Exact ``D_c(i, j)`` matrices: choice c of peer i is peer j.
+
+    The c-th choice of a peer is its c-th best mate (by rank) in the stable
+    b0-matching.  Returns a mapping ``choice -> matrix``.
+    """
+    if n > _MAX_EXACT_PEERS:
+        raise ValueError(
+            f"exact enumeration is limited to n <= {_MAX_EXACT_PEERS} (got {n})"
+        )
+    matrices = {c: np.zeros((n, n), dtype=float) for c in range(1, b0 + 1)}
+    for graph, probability in _iterate_graphs(n, p):
+        if probability == 0.0:
+            continue
+        population = PeerPopulation.ranked(n, slots=b0)
+        acceptance = AcceptanceGraph(population, graph.copy())
+        ranking = GlobalRanking.from_population(population)
+        matching = stable_configuration(acceptance, ranking)
+        for i in range(1, n + 1):
+            mates = ranking.sorted_by_rank(matching.mates(i))
+            for choice, mate in enumerate(mates, start=1):
+                matrices[choice][i - 1, mate - 1] += probability
+    return matrices
+
+
+@dataclass
+class Figure7Comparison:
+    """Exact vs independent-model probabilities for the 3-peer system."""
+
+    p: float
+    exact: Dict[Tuple[int, int], float]
+    independent: Dict[Tuple[int, int], float]
+
+    def error(self, i: int, j: int) -> float:
+        """Absolute approximation error on the pair (i, j)."""
+        key = (min(i, j), max(i, j))
+        return abs(self.independent[key] - self.exact[key])
+
+
+def figure7_exact_values(p: float) -> Dict[Tuple[int, int], float]:
+    """The closed-form exact probabilities of Figure 7 for n = 3.
+
+    ``D(1,2) = p``, ``D(1,3) = p(1-p)``, ``D(2,3) = p(1-p)^2``.
+    """
+    return {
+        (1, 2): p,
+        (1, 3): p * (1.0 - p),
+        (2, 3): p * (1.0 - p) ** 2,
+    }
+
+
+def figure7_independent_values(p: float) -> Dict[Tuple[int, int], float]:
+    """Algorithm 2's values for n = 3 (the last entry carries the error)."""
+    return {
+        (1, 2): p,
+        (1, 3): p * (1.0 - p),
+        (2, 3): p * (1.0 - p) * (1.0 - p * (1.0 - p)),
+    }

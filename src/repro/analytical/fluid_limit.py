@@ -1,0 +1,113 @@
+"""Fluid limit of the neighbor distribution (Section 5.2).
+
+Three scaling results:
+
+* **Theorem 2** -- for fixed i and p the distribution ``M_i(n, p)`` of the
+  mate of peer i converges (as n grows) to a limit ``M_i(p)`` of total mass
+  1: the row ``D(i, .)`` stops depending on n beyond the support it has
+  already built.
+* **Theorem 3 (Dirac limit)** -- rescaling ranks by ``1/n`` at fixed p sends
+  the distribution to a Dirac mass at 0: everybody pairs within a vanishing
+  fraction of the ranking.
+* **Conjecture 1 (fluid limit)** -- with ``p_n = d / n`` and rank offsets
+  rescaled by ``n``, the mate distribution of the best peer converges to the
+  exponential density ``M_{0,d}(dbeta) = d exp(-d beta) dbeta``.
+
+This module provides the limiting densities and helpers to compare them
+against the finite-n output of Algorithm 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.analytical.one_matching import independent_one_matching
+
+__all__ = [
+    "fluid_limit_density",
+    "fluid_limit_cdf",
+    "best_peer_scaled_distribution",
+    "fluid_limit_comparison",
+    "FluidLimitComparison",
+]
+
+
+def fluid_limit_density(beta: np.ndarray | float, d: float) -> np.ndarray | float:
+    """The limiting density ``d * exp(-d * beta)`` of the best peer's mate.
+
+    ``beta`` is the mate's rank divided by n (the scaled rank offset).
+    """
+    if d <= 0:
+        raise ValueError("expected degree d must be positive")
+    beta_arr = np.asarray(beta, dtype=float)
+    density = d * np.exp(-d * beta_arr)
+    density = np.where(beta_arr < 0, 0.0, density)
+    if np.isscalar(beta):
+        return float(density)
+    return density
+
+
+def fluid_limit_cdf(beta: np.ndarray | float, d: float) -> np.ndarray | float:
+    """CDF of the fluid limit: ``1 - exp(-d * beta)`` for beta >= 0."""
+    if d <= 0:
+        raise ValueError("expected degree d must be positive")
+    beta_arr = np.asarray(beta, dtype=float)
+    cdf = 1.0 - np.exp(-d * np.clip(beta_arr, 0.0, None))
+    if np.isscalar(beta):
+        return float(cdf)
+    return cdf
+
+
+def best_peer_scaled_distribution(n: int, d: float) -> Dict[str, np.ndarray]:
+    """Finite-n scaled mate distribution of the best peer.
+
+    Computes ``D(1, j)`` with ``p = d / n`` and returns the scaled support
+    ``beta_j = j / n`` together with the scaled density ``n * D(1, j)``,
+    which should approach :func:`fluid_limit_density` as n grows.
+    """
+    if n <= 1:
+        raise ValueError("n must be at least 2")
+    p = d / n
+    if p > 1.0:
+        raise ValueError(f"d={d} is too large for n={n}")
+    model = independent_one_matching(n, p, rows=[1])
+    row = model.row(1)
+    betas = np.arange(1, n + 1) / n
+    return {"beta": betas, "scaled_density": n * row}
+
+
+@dataclass
+class FluidLimitComparison:
+    """Finite-n vs fluid-limit comparison for the best peer."""
+
+    n: int
+    d: float
+    beta: np.ndarray
+    finite_density: np.ndarray
+    limit_density: np.ndarray
+
+    @property
+    def max_absolute_error(self) -> float:
+        """Largest pointwise gap between the finite-n and limit densities."""
+        return float(np.max(np.abs(self.finite_density - self.limit_density)))
+
+    @property
+    def l1_error(self) -> float:
+        """Riemann-sum L1 distance between the two densities."""
+        return float(np.sum(np.abs(self.finite_density - self.limit_density)) / self.n)
+
+
+def fluid_limit_comparison(n: int, d: float) -> FluidLimitComparison:
+    """Compare the finite-n scaled distribution of peer 1 with the fluid limit."""
+    scaled = best_peer_scaled_distribution(n, d)
+    limit = fluid_limit_density(scaled["beta"], d)
+    return FluidLimitComparison(
+        n=n,
+        d=d,
+        beta=scaled["beta"],
+        finite_density=scaled["scaled_density"],
+        limit_density=np.asarray(limit),
+    )

@@ -1,0 +1,167 @@
+"""Algorithm 2: the independent 1-matching model.
+
+Under the Erdős–Rényi acceptance graph G(n, p) and the independence
+assumption (Assumption 1), the probability ``D(i, j)`` that peer i is
+matched with peer j in the unique stable 1-matching satisfies the
+recurrence (paper equation 2):
+
+.. math::
+
+   D(i, j) = p\\Big(1 - \\sum_{k<j} D(i, k)\\Big)\\Big(1 - \\sum_{k<i} D(j, k)\\Big)
+
+The straightforward double loop is O(n^2) scalar operations; this module
+implements an algebraically equivalent vectorised version.  Within row i the
+partial sums obey
+
+.. math::
+
+   1 - S_i(j) = (1 - S_i(j-1)) \\cdot (1 - p(1 - C_{i}(j)))
+
+where ``S_i(j)`` is the cumulative mass of row i up to column j and
+``C_i(j) = sum_{k<i} D(j, k)`` only involves rows processed before i, so a
+cumulative product over j produces the whole row at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["OneMatchingModel", "independent_one_matching", "match_probability_matrix"]
+
+
+@dataclass
+class OneMatchingModel:
+    """Result of the independent 1-matching computation.
+
+    Attributes
+    ----------
+    n:
+        Number of peers (peer ids / ranks run from 1 to n, 1 = best).
+    p:
+        Erdős–Rényi edge probability.
+    rows:
+        Mapping peer rank -> full distribution row ``D(i, .)`` as a numpy
+        array indexed by ``j - 1``.
+    unmatched:
+        Mapping peer rank -> probability of ending up unmatched
+        (``1 - sum_j D(i, j)``).
+    """
+
+    n: int
+    p: float
+    rows: Dict[int, np.ndarray]
+    unmatched: Dict[int, float]
+
+    def row(self, i: int) -> np.ndarray:
+        """The distribution ``D(i, .)`` for peer ``i`` (1-based)."""
+        if i not in self.rows:
+            raise KeyError(
+                f"row {i} was not requested; available rows: {sorted(self.rows)}"
+            )
+        return self.rows[i]
+
+    def probability(self, i: int, j: int) -> float:
+        """``D(i, j)`` for 1-based peers i, j."""
+        if i == j:
+            return 0.0
+        return float(self.row(i)[j - 1])
+
+    def match_probability(self, i: int) -> float:
+        """Probability that peer i is matched at all."""
+        return 1.0 - self.unmatched[i]
+
+    def mean_partner_rank(self, i: int) -> float:
+        """Expected rank of the partner of peer i, conditioned on matching."""
+        row = self.row(i)
+        mass = row.sum()
+        if mass <= 0:
+            raise ValueError(f"peer {i} has zero matching probability")
+        ranks = np.arange(1, self.n + 1)
+        return float((row * ranks).sum() / mass)
+
+    def offset_distribution(self, i: int) -> Dict[int, float]:
+        """Distribution of the rank offset (j - i) of the partner of peer i."""
+        row = self.row(i)
+        return {j + 1 - i: float(row[j]) for j in range(self.n) if row[j] > 0}
+
+
+def independent_one_matching(
+    n: int,
+    p: float,
+    *,
+    rows: Optional[Iterable[int]] = None,
+) -> OneMatchingModel:
+    """Run Algorithm 2 and return the independent 1-matching model.
+
+    Parameters
+    ----------
+    n:
+        Number of peers.
+    p:
+        Erdős–Rényi edge probability.
+    rows:
+        Peer ranks whose full distribution row should be stored.  When
+        omitted, every row is stored (O(n^2) memory); restricting the rows
+        keeps memory at O(n) while still computing the exact same values.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+
+    wanted = set(range(1, n + 1)) if rows is None else {int(r) for r in rows}
+    for r in wanted:
+        if not 1 <= r <= n:
+            raise ValueError(f"requested row {r} outside 1..{n}")
+
+    # colsum[j-1] = sum_{k < current i} D(k, j): total probability that peer j
+    # is taken by a better-ranked peer processed so far.
+    colsum = np.zeros(n, dtype=float)
+    stored: Dict[int, np.ndarray] = {r: np.zeros(n, dtype=float) for r in wanted}
+    unmatched: Dict[int, float] = {}
+
+    for i in range(1, n + 1):
+        upper = np.zeros(n - i, dtype=float)  # D(i, j) for j = i+1 .. n
+        if i < n:
+            j_idx = np.arange(i, n)  # zero-based indices of columns j = i+1 .. n
+            availability = 1.0 - colsum[j_idx]  # 1 - sum_{k<i} D(j, k)
+            # Survival of row i's mass past each column:
+            #   1 - S_i(j) = (1 - S_i(i)) * prod_{m=i+1..j} (1 - p * availability(m))
+            start_mass = 1.0 - colsum[i - 1]  # 1 - sum_{k<i} D(i, k), by symmetry
+            decay = 1.0 - p * availability
+            # prefix[t] = prod of decay[0..t-1]  (survival up to just before column j_idx[t])
+            prefix = np.concatenate(([1.0], np.cumprod(decay)[:-1]))
+            survival_before = start_mass * prefix
+            upper = p * survival_before * availability
+
+        # The mass of row i below the diagonal equals colsum[i-1] by symmetry.
+        total = float(upper.sum()) + float(colsum[i - 1])
+        unmatched[i] = max(0.0, 1.0 - total)
+
+        if i in stored:
+            stored[i][i:] = upper
+        # Propagate D(i, j) to the symmetric cell of every stored later row.
+        for r in wanted:
+            if r > i:
+                stored[r][i - 1] = upper[r - 1 - i]
+
+        # Update column sums with this row's contribution to later columns.
+        if i < n:
+            colsum[i:] += upper
+
+    return OneMatchingModel(n=n, p=p, rows=stored, unmatched=unmatched)
+
+
+def match_probability_matrix(n: int, p: float) -> np.ndarray:
+    """Full symmetric matrix ``D`` with ``D[i-1, j-1] = D(i, j)``.
+
+    Convenience wrapper for small n (tests, Figure 7); O(n^2) memory.
+    """
+    model = independent_one_matching(n, p)
+    matrix = np.zeros((n, n), dtype=float)
+    for i in range(1, n + 1):
+        matrix[i - 1, :] = model.row(i)
+    return matrix

@@ -1,0 +1,87 @@
+"""BitTorrent substrate and the paper's Section 6 application.
+
+* :mod:`repro.bittorrent.pieces` -- torrent content model (pieces, bitfields).
+* :mod:`repro.bittorrent.piece_selection` -- rarest-first and alternative
+  piece pickers.
+* :mod:`repro.bittorrent.choking` -- Tit-for-Tat and seed choking policies.
+* :mod:`repro.bittorrent.tracker` -- peer discovery (the acceptance graph).
+* :mod:`repro.bittorrent.swarm` -- the round-based swarm simulator and the
+  empirical stratification index.
+* :mod:`repro.bittorrent.bandwidth` -- the Saroiu-style upstream bandwidth
+  distribution (Figure 10).
+* :mod:`repro.bittorrent.efficiency` -- expected download/upload share
+  ratio as a function of upload bandwidth (Figure 11).
+* :mod:`repro.bittorrent.strategy` -- slot-count arguments (connectivity
+  lower bound, rational deviations, the default of 4).
+"""
+
+from repro.bittorrent.bandwidth import (
+    BandwidthClass,
+    BandwidthDistribution,
+    saroiu_like_distribution,
+)
+from repro.bittorrent.choking import ChokingPolicy, SeedChoker, TitForTatChoker
+from repro.bittorrent.efficiency import (
+    EfficiencyCurve,
+    analytic_efficiency,
+    efficiency_observations,
+    simulated_efficiency,
+)
+from repro.bittorrent.pieces import Bitfield, Torrent
+from repro.bittorrent.piece_selection import (
+    PieceSelector,
+    RandomSelector,
+    RarestFirstSelector,
+    SequentialSelector,
+    make_selector,
+    piece_availability,
+)
+from repro.bittorrent.strategy import (
+    SlotDeviationOutcome,
+    is_connectivity_feasible,
+    minimum_slots_for_connectivity,
+    rational_best_response,
+    recommended_default_slots,
+    slot_deviation_payoffs,
+)
+from repro.bittorrent.swarm import (
+    SwarmConfig,
+    SwarmPeer,
+    SwarmResult,
+    SwarmSimulator,
+    stratification_index,
+)
+from repro.bittorrent.tracker import Tracker
+
+__all__ = [
+    "BandwidthClass",
+    "BandwidthDistribution",
+    "saroiu_like_distribution",
+    "ChokingPolicy",
+    "SeedChoker",
+    "TitForTatChoker",
+    "EfficiencyCurve",
+    "analytic_efficiency",
+    "efficiency_observations",
+    "simulated_efficiency",
+    "Bitfield",
+    "Torrent",
+    "PieceSelector",
+    "RandomSelector",
+    "RarestFirstSelector",
+    "SequentialSelector",
+    "make_selector",
+    "piece_availability",
+    "SlotDeviationOutcome",
+    "is_connectivity_feasible",
+    "minimum_slots_for_connectivity",
+    "rational_best_response",
+    "recommended_default_slots",
+    "slot_deviation_payoffs",
+    "SwarmConfig",
+    "SwarmPeer",
+    "SwarmResult",
+    "SwarmSimulator",
+    "stratification_index",
+    "Tracker",
+]

@@ -1,0 +1,195 @@
+"""Slot-count strategy analysis (Sections 4.1 and 6).
+
+Three arguments from the paper about the number of Tit-for-Tat slots:
+
+* **Connectivity lower bound** -- a b0-regular collaboration graph has
+  ``b0 * n / 2`` edges and a connected graph needs at least ``n - 1``, so
+  constant 1-matching can never be connected and the cycle is the only
+  connected 2-regular graph: b0 >= 3 is required for a robustly connected
+  TFT graph.
+* **Rational peers drift to fewer slots** -- reducing one's slot count
+  raises the upload offered per slot and therefore the rank, pushing the
+  expected efficiency up; iterating this best response ends in the
+  degenerate Nash equilibrium where every rational peer keeps a single TFT
+  slot.
+* **The default of 4** -- obedient peers need at least 3 TFT slots (+1
+  optimistic) for connectivity, and every extra slot moves them further
+  from the rational equilibrium; 4 is the paper's proposed trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.bittorrent.bandwidth import BandwidthDistribution, saroiu_like_distribution
+from repro.bittorrent.efficiency import analytic_efficiency
+from repro.sim.random_source import RandomSource
+
+__all__ = [
+    "minimum_slots_for_connectivity",
+    "is_connectivity_feasible",
+    "SlotDeviationOutcome",
+    "slot_deviation_payoffs",
+    "rational_best_response",
+    "recommended_default_slots",
+]
+
+
+def is_connectivity_feasible(b0: int, n: int) -> bool:
+    """Whether a connected b0-regular collaboration graph on n peers can exist.
+
+    ``b0 = 1`` is never connected for n > 2; ``b0 = 2`` only as the single
+    n-cycle (a fragile topology the paper dismisses); ``b0 >= 3`` is
+    feasible whenever ``b0 < n`` and ``b0 * n`` is even.
+    """
+    if n <= 1:
+        return n == 1
+    if b0 <= 0:
+        return False
+    if b0 == 1:
+        return n == 2
+    if b0 >= n:
+        return False
+    return b0 * n % 2 == 0 or b0 >= 2
+
+
+def minimum_slots_for_connectivity() -> int:
+    """The paper's lower bound: at least 3 TFT slots for a robust graph."""
+    return 3
+
+
+@dataclass
+class SlotDeviationOutcome:
+    """Expected efficiency of a peer deviating to a different slot count.
+
+    Attributes
+    ----------
+    baseline_slots:
+        Slot count used by the rest of the population.
+    deviant_slots:
+        Slot count adopted by the deviating peer.
+    baseline_efficiency:
+        Median share ratio when following the default.
+    deviant_efficiency:
+        Estimated share ratio after the deviation.
+    improves:
+        Whether the deviation increases the peer's share ratio.
+    """
+
+    baseline_slots: int
+    deviant_slots: int
+    baseline_efficiency: float
+    deviant_efficiency: float
+
+    @property
+    def improves(self) -> bool:
+        """Whether deviating is profitable for the peer."""
+        return self.deviant_efficiency > self.baseline_efficiency
+
+
+def slot_deviation_payoffs(
+    upload_kbps: float,
+    *,
+    population_slots: int = 3,
+    candidate_slots: Sequence[int] = (1, 2, 3, 4, 5),
+    n: int = 400,
+    expected_degree: float = 20.0,
+    distribution: Optional[BandwidthDistribution] = None,
+    seed: int = 0,
+) -> List[SlotDeviationOutcome]:
+    """Payoff of deviating to each candidate slot count (Section 6 argument).
+
+    The population plays ``population_slots`` TFT slots; one peer with the
+    given upload bandwidth contemplates using ``deviant_slots`` instead.
+    Fewer slots concentrate its upload, raising its upload-per-slot rank and
+    hence the quality of the mates the matching model assigns to it.
+    """
+    dist = distribution if distribution is not None else saroiu_like_distribution()
+    source = RandomSource(seed)
+    uploads = dist.sample(n - 1, source.stream("population"))
+
+    outcomes: List[SlotDeviationOutcome] = []
+    baseline = _deviant_efficiency(
+        upload_kbps, population_slots, uploads, population_slots, expected_degree, seed
+    )
+    for candidate in candidate_slots:
+        if candidate <= 0:
+            raise ValueError("slot counts must be positive")
+        value = _deviant_efficiency(
+            upload_kbps, candidate, uploads, population_slots, expected_degree, seed
+        )
+        outcomes.append(
+            SlotDeviationOutcome(
+                baseline_slots=population_slots,
+                deviant_slots=candidate,
+                baseline_efficiency=baseline,
+                deviant_efficiency=value,
+            )
+        )
+    return outcomes
+
+
+def _deviant_efficiency(
+    upload_kbps: float,
+    deviant_slots: int,
+    population_uploads: np.ndarray,
+    population_slots: int,
+    expected_degree: float,
+    seed: int,
+) -> float:
+    """Share ratio of the deviant given everybody's upload-per-slot ranking."""
+    # Build the per-slot ranking the TFT reduction induces: the deviant
+    # offers upload/deviant_slots, everybody else upload/population_slots.
+    deviant_per_slot = upload_kbps / deviant_slots
+    others_per_slot = np.asarray(population_uploads, dtype=float) / population_slots
+    all_per_slot = np.concatenate(([deviant_per_slot], others_per_slot))
+    order = np.argsort(-all_per_slot)
+    deviant_rank = int(np.where(order == 0)[0][0]) + 1
+
+    curve = analytic_efficiency(
+        n=all_per_slot.shape[0],
+        b0=population_slots,
+        expected_degree=expected_degree,
+        uploads=(np.sort(all_per_slot)[::-1] * population_slots).tolist(),
+        seed=seed,
+    )
+    # The deviant's download comes through deviant_slots slots at its rank,
+    # but its cost stays its full upload bandwidth.
+    expected_download = (
+        curve.expected_download[deviant_rank - 1] / population_slots * deviant_slots
+    )
+    return float(expected_download / upload_kbps)
+
+
+def rational_best_response(
+    upload_kbps: float,
+    *,
+    population_slots: int = 3,
+    candidate_slots: Sequence[int] = (1, 2, 3, 4, 5),
+    n: int = 400,
+    expected_degree: float = 20.0,
+    seed: int = 0,
+) -> int:
+    """The slot count a rational peer would pick (paper: it collapses to 1)."""
+    outcomes = slot_deviation_payoffs(
+        upload_kbps,
+        population_slots=population_slots,
+        candidate_slots=candidate_slots,
+        n=n,
+        expected_degree=expected_degree,
+        seed=seed,
+    )
+    best = max(outcomes, key=lambda outcome: outcome.deviant_efficiency)
+    return best.deviant_slots
+
+
+def recommended_default_slots() -> Dict[str, int]:
+    """The paper's conclusion on default slot counts."""
+    return {
+        "tft_slots": 3,
+        "optimistic_slots": 1,
+        "total": 4,
+    }

@@ -1,0 +1,420 @@
+"""A round-based BitTorrent swarm simulator.
+
+The simulator exercises, end to end, the mechanism that the paper models
+analytically: peers discover each other through a tracker, exchange pieces
+under the Tit-for-Tat choking policy with rarest-first piece selection, and
+-- once content availability stops being the bottleneck -- sort themselves
+into bandwidth strata.
+
+One simulation *round* represents one rechoke period (10 seconds of real
+BitTorrent time).  In each round every peer:
+
+1. recomputes its unchoked set from what it received during the previous
+   round (Tit-for-Tat + optimistic unchoke),
+2. splits its upload capacity evenly across its unchoked, interested
+   neighbors, and
+3. the receiving side accumulates the transferred volume and converts it
+   into pieces chosen rarest-first from the sender's bitfield.
+
+The output records per-peer download rates and the realised collaboration
+graph, from which :func:`stratification_index` measures how strongly peers
+pair with partners of similar bandwidth rank -- the empirical counterpart of
+the matching model's stratification result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.bittorrent.bandwidth import BandwidthDistribution, saroiu_like_distribution
+from repro.bittorrent.choking import SeedChoker, TitForTatChoker
+from repro.bittorrent.pieces import Bitfield, Torrent
+from repro.bittorrent.piece_selection import PieceSelector, make_selector, piece_availability
+from repro.bittorrent.tracker import Tracker
+from repro.sim.random_source import RandomSource
+
+__all__ = ["SwarmConfig", "SwarmPeer", "SwarmResult", "SwarmSimulator", "stratification_index"]
+
+
+@dataclass
+class SwarmConfig:
+    """Parameters of a swarm simulation.
+
+    Attributes
+    ----------
+    leechers:
+        Number of downloading peers.
+    seeds:
+        Number of initial seeds.
+    piece_count:
+        Number of pieces in the torrent.
+    piece_size_kb:
+        Piece size in kilobits.
+    regular_slots:
+        Tit-for-Tat slots per leecher (the paper's b0, default 3).
+    optimistic_slots:
+        Optimistic unchoke slots per leecher (default 1).
+    seed_slots:
+        Upload slots of each seed.
+    announce_size:
+        Tracker announce size (expected acceptance degree d).
+    rounds:
+        Number of rechoke rounds to simulate.
+    round_seconds:
+        Real-time duration of one round (used to convert kbps to kb/round).
+    piece_selection:
+        Piece selection policy name.
+    start_completion:
+        Fraction of pieces each leecher already holds at start.  A non-zero
+        value puts the swarm directly in the post flash-crowd regime that
+        the paper analyses.
+    seed_upload_kbps:
+        Upload capacity of seeds.
+    warmup_rounds:
+        Rounds excluded from the reciprocal-TFT statistics (the initial
+        discovery phase, where unchokes are still mostly optimistic).
+    """
+
+    leechers: int = 60
+    seeds: int = 2
+    piece_count: int = 800
+    piece_size_kb: float = 256.0
+    regular_slots: int = 3
+    optimistic_slots: int = 1
+    seed_slots: int = 4
+    announce_size: int = 20
+    rounds: int = 60
+    round_seconds: float = 10.0
+    piece_selection: str = "rarest-first"
+    start_completion: float = 0.3
+    seed_upload_kbps: float = 5000.0
+    warmup_rounds: int = 5
+
+    def __post_init__(self) -> None:
+        if self.leechers <= 1:
+            raise ValueError("need at least two leechers")
+        if self.seeds < 0:
+            raise ValueError("seeds cannot be negative")
+        if self.rounds <= 0:
+            raise ValueError("rounds must be positive")
+        if not 0.0 <= self.start_completion < 1.0:
+            raise ValueError("start_completion must be in [0, 1)")
+        if self.warmup_rounds < 0:
+            raise ValueError("warmup_rounds cannot be negative")
+
+
+@dataclass
+class SwarmPeer:
+    """Dynamic state of one peer in the swarm."""
+
+    peer_id: int
+    upload_kbps: float
+    is_seed: bool
+    bitfield: Bitfield
+    neighbors: Set[int] = field(default_factory=set)
+    downloaded_kb: float = 0.0
+    uploaded_kb: float = 0.0
+    partial_kb: Dict[int, float] = field(default_factory=dict)
+    received_last_round: Dict[int, float] = field(default_factory=dict)
+    completed_round: Optional[int] = None
+
+    def download_rate_kbps(self, rounds: int, round_seconds: float) -> float:
+        """Average download rate over the simulated horizon."""
+        horizon = (self.completed_round if self.completed_round is not None else rounds)
+        horizon = max(1, horizon)
+        return self.downloaded_kb / (horizon * round_seconds)
+
+
+@dataclass
+class SwarmResult:
+    """Outcome of a swarm simulation.
+
+    ``collaboration_volume`` records every kilobit moved between a pair;
+    ``tft_reciprocal_rounds`` counts, per pair of leechers, the rounds in
+    which *both* sides granted the other a regular (Tit-for-Tat) slot --
+    the empirical analogue of a matched pair in the paper's model.
+    """
+
+    config: SwarmConfig
+    peers: Dict[int, SwarmPeer]
+    collaboration_volume: Dict[Tuple[int, int], float]
+    tft_reciprocal_rounds: Dict[Tuple[int, int], float]
+    completed: int
+    rounds_run: int
+
+    def leechers(self) -> List[SwarmPeer]:
+        """All non-seed peers."""
+        return [peer for peer in self.peers.values() if not peer.is_seed]
+
+    def download_rates(self) -> Dict[int, float]:
+        """Average download rate (kbps) per leecher."""
+        return {
+            peer.peer_id: peer.download_rate_kbps(self.rounds_run, self.config.round_seconds)
+            for peer in self.leechers()
+        }
+
+    def share_ratios(self) -> Dict[int, float]:
+        """Downloaded / uploaded volume per leecher (the BitTorrent share ratio)."""
+        ratios = {}
+        for peer in self.leechers():
+            uploaded = max(peer.uploaded_kb, 1e-9)
+            ratios[peer.peer_id] = peer.downloaded_kb / uploaded
+        return ratios
+
+
+class SwarmSimulator:
+    """Drives a round-based Tit-for-Tat swarm."""
+
+    def __init__(
+        self,
+        config: SwarmConfig,
+        *,
+        bandwidths: Optional[Sequence[float]] = None,
+        distribution: Optional[BandwidthDistribution] = None,
+        seed: int = 0,
+    ) -> None:
+        self.config = config
+        self.source = RandomSource(seed)
+        self.torrent = Torrent(config.piece_count, config.piece_size_kb)
+        self.selector: PieceSelector = make_selector(config.piece_selection)
+        self.tracker = Tracker(announce_size=config.announce_size)
+        self._chokers: Dict[int, TitForTatChoker | SeedChoker] = {}
+        self.peers: Dict[int, SwarmPeer] = {}
+        self._build_population(bandwidths, distribution)
+
+    # -- construction ------------------------------------------------------------
+
+    def _build_population(
+        self,
+        bandwidths: Optional[Sequence[float]],
+        distribution: Optional[BandwidthDistribution],
+    ) -> None:
+        config = self.config
+        rng = self.source.stream("bandwidth")
+        if bandwidths is not None:
+            uploads = np.asarray(list(bandwidths), dtype=float)
+            if uploads.shape[0] != config.leechers:
+                raise ValueError("bandwidths must have one entry per leecher")
+        else:
+            dist = distribution if distribution is not None else saroiu_like_distribution()
+            uploads = dist.sample(config.leechers, rng)
+
+        bootstrap_rng = self.source.stream("bootstrap")
+        announce_rng = self.source.stream("tracker")
+        peer_id = 0
+        for index in range(config.leechers):
+            peer_id += 1
+            bitfield = Bitfield.empty(config.piece_count)
+            start_pieces = int(round(config.start_completion * config.piece_count))
+            if start_pieces:
+                for piece in bootstrap_rng.choice(
+                    config.piece_count, size=start_pieces, replace=False
+                ):
+                    bitfield.add(int(piece))
+            peer = SwarmPeer(
+                peer_id=peer_id,
+                upload_kbps=float(uploads[index]),
+                is_seed=False,
+                bitfield=bitfield,
+            )
+            self.peers[peer_id] = peer
+            self._chokers[peer_id] = TitForTatChoker(
+                regular_slots=config.regular_slots,
+                optimistic_slots=config.optimistic_slots,
+            )
+        for _ in range(config.seeds):
+            peer_id += 1
+            peer = SwarmPeer(
+                peer_id=peer_id,
+                upload_kbps=config.seed_upload_kbps,
+                is_seed=True,
+                bitfield=Bitfield.complete(config.piece_count),
+            )
+            self.peers[peer_id] = peer
+            self._chokers[peer_id] = SeedChoker(slots=config.seed_slots)
+
+        for pid in self.peers:
+            contacts = self.tracker.announce(pid, announce_rng)
+            self.peers[pid].neighbors.update(contacts)
+            for other in contacts:
+                self.peers[other].neighbors.add(pid)
+
+    # -- simulation ---------------------------------------------------------------
+
+    def run(self) -> SwarmResult:
+        """Run the configured number of rounds and return the results."""
+        config = self.config
+        rng = self.source.stream("rounds")
+        collaboration: Dict[Tuple[int, int], float] = {}
+        tft_rounds: Dict[Tuple[int, int], float] = {}
+        completed = sum(1 for p in self.peers.values() if not p.is_seed and p.bitfield.is_complete())
+
+        rounds_run = config.rounds
+        for round_index in range(1, config.rounds + 1):
+            transfers, regular_pairs = self._plan_round(rng)
+            self._record_reciprocal_tft(regular_pairs, tft_rounds, round_index)
+            completed += self._apply_round(transfers, collaboration, rng, round_index)
+            if all(p.bitfield.is_complete() for p in self.peers.values() if not p.is_seed):
+                rounds_run = round_index
+                break
+        return SwarmResult(
+            config=config,
+            peers=self.peers,
+            collaboration_volume=collaboration,
+            tft_reciprocal_rounds=tft_rounds,
+            completed=completed,
+            rounds_run=rounds_run,
+        )
+
+    def _plan_round(
+        self, rng: np.random.Generator
+    ) -> Tuple[Dict[Tuple[int, int], float], Set[Tuple[int, int]]]:
+        """Decide unchokes and the kb each peer pushes to each partner.
+
+        Returns the planned transfers and the set of directed (sender,
+        target) pairs granted a *regular* Tit-for-Tat slot this round.
+        """
+        config = self.config
+        transfers: Dict[Tuple[int, int], float] = {}
+        regular_pairs: Set[Tuple[int, int]] = set()
+        for peer in self.peers.values():
+            interested = [
+                other
+                for other in sorted(peer.neighbors)
+                if not self.peers[other].is_seed
+                and self.peers[other].bitfield.is_interested_in(peer.bitfield)
+            ]
+            if not interested:
+                continue
+            decision = self._chokers[peer.peer_id].select_unchoked(
+                peer.peer_id, interested, peer.received_last_round, rng
+            )
+            unchoked = decision.all
+            if not unchoked:
+                continue
+            for target in decision.regular:
+                regular_pairs.add((peer.peer_id, target))
+            budget_kb = peer.upload_kbps * config.round_seconds
+            share = budget_kb / len(unchoked)
+            for target in unchoked:
+                transfers[(peer.peer_id, target)] = share
+        return transfers, regular_pairs
+
+    def _record_reciprocal_tft(
+        self,
+        regular_pairs: Set[Tuple[int, int]],
+        tft_rounds: Dict[Tuple[int, int], float],
+        round_index: int,
+    ) -> None:
+        """Count pairs whose regular slots point at each other this round.
+
+        The first ``warmup_rounds`` rounds are treated as warm-up (the
+        discovery / flash-crowd phase) and not counted.
+        """
+        if round_index <= self.config.warmup_rounds:
+            return
+        for sender, target in regular_pairs:
+            if sender < target and (target, sender) in regular_pairs:
+                key = (sender, target)
+                tft_rounds[key] = tft_rounds.get(key, 0.0) + 1.0
+
+    def _apply_round(
+        self,
+        transfers: Dict[Tuple[int, int], float],
+        collaboration: Dict[Tuple[int, int], float],
+        rng: np.random.Generator,
+        round_index: int,
+    ) -> int:
+        """Turn planned transfers into pieces; return newly completed peers."""
+        availability = piece_availability(
+            (peer.bitfield for peer in self.peers.values()), self.config.piece_count
+        )
+        received_now: Dict[int, Dict[int, float]] = {pid: {} for pid in self.peers}
+        newly_completed = 0
+
+        for (sender_id, receiver_id), volume_kb in transfers.items():
+            sender = self.peers[sender_id]
+            receiver = self.peers[receiver_id]
+            wanted = receiver.bitfield.interesting_pieces(sender.bitfield)
+            if not wanted:
+                continue
+            sender.uploaded_kb += volume_kb
+            receiver.downloaded_kb += volume_kb
+            received_now[receiver_id][sender_id] = (
+                received_now[receiver_id].get(sender_id, 0.0) + volume_kb
+            )
+            key = (min(sender_id, receiver_id), max(sender_id, receiver_id))
+            collaboration[key] = collaboration.get(key, 0.0) + volume_kb
+
+            # Convert the received volume into whole pieces, rarest first.
+            credit = receiver.partial_kb.get(sender_id, 0.0) + volume_kb
+            while credit >= self.config.piece_size_kb:
+                wanted = receiver.bitfield.interesting_pieces(sender.bitfield)
+                if not wanted:
+                    break
+                piece = self.selector.select(wanted, availability, rng)
+                if piece is None:
+                    break
+                receiver.bitfield.add(piece)
+                availability[piece] += 1
+                credit -= self.config.piece_size_kb
+                if receiver.bitfield.is_complete() and receiver.completed_round is None:
+                    receiver.completed_round = round_index
+                    newly_completed += 1
+            receiver.partial_kb[sender_id] = credit
+
+        for pid, received in received_now.items():
+            self.peers[pid].received_last_round = received
+        return newly_completed
+
+
+def stratification_index(result: SwarmResult, *, use_tft_pairs: bool = True) -> float:
+    """Correlation between a leecher's bandwidth rank and its partners' ranks.
+
+    For every leecher we compute the weighted average bandwidth rank of the
+    peers it collaborated with, then return the Pearson correlation between
+    the leecher's own rank and that average.  Values close to 1 mean peers
+    overwhelmingly exchanged with peers of similar bandwidth -- the
+    stratification the paper predicts; values near 0 mean bandwidth played
+    no role in partner selection.
+
+    Parameters
+    ----------
+    use_tft_pairs:
+        When true (default) only *reciprocated Tit-for-Tat* pairs are
+        counted, weighted by the number of rounds the reciprocity lasted --
+        the empirical counterpart of the matching model.  When false, every
+        transferred kilobit counts, which also includes optimistic-unchoke
+        altruism and therefore underestimates stratification.
+    """
+    leechers = result.leechers()
+    if len(leechers) < 3:
+        raise ValueError("need at least three leechers to measure stratification")
+    order = sorted(leechers, key=lambda peer: -peer.upload_kbps)
+    rank = {peer.peer_id: index + 1 for index, peer in enumerate(order)}
+    weights = (
+        result.tft_reciprocal_rounds if use_tft_pairs else result.collaboration_volume
+    )
+
+    own_ranks: List[float] = []
+    partner_ranks: List[float] = []
+    for peer in leechers:
+        total = 0.0
+        weighted = 0.0
+        for (a, b), weight in weights.items():
+            if a == peer.peer_id and b in rank:
+                weighted += weight * rank[b]
+                total += weight
+            elif b == peer.peer_id and a in rank:
+                weighted += weight * rank[a]
+                total += weight
+        if total > 0:
+            own_ranks.append(float(rank[peer.peer_id]))
+            partner_ranks.append(weighted / total)
+    if len(own_ranks) < 3:
+        return 0.0
+    matrix = np.corrcoef(np.asarray(own_ranks), np.asarray(partner_ranks))
+    return float(matrix[0, 1])

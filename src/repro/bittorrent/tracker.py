@@ -1,0 +1,79 @@
+"""Tracker: peer discovery.
+
+The tracker hands every joining peer a random subset of the swarm.  The
+union of these announcements is precisely the paper's *acceptance graph*:
+two peers can only end up in a Tit-for-Tat exchange if at least one of them
+learnt about the other, and the resulting knowledge graph is (close to) an
+Erdős–Rényi graph with expected degree equal to the announce size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.graphs.base import UndirectedGraph
+
+__all__ = ["Tracker"]
+
+
+@dataclass
+class Tracker:
+    """A minimal BitTorrent tracker.
+
+    Attributes
+    ----------
+    announce_size:
+        Number of peers returned by each announce (BitTorrent defaults to
+        50; the paper's realistic value for *interesting* neighbors is 20).
+    """
+
+    announce_size: int = 20
+    _known: Set[int] = field(default_factory=set, repr=False)
+    _contacts: Dict[int, Set[int]] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.announce_size <= 0:
+            raise ValueError("announce_size must be positive")
+
+    @property
+    def swarm_size(self) -> int:
+        """Number of peers currently registered."""
+        return len(self._known)
+
+    def announce(self, peer_id: int, rng: np.random.Generator) -> List[int]:
+        """Register ``peer_id`` and return a random subset of other peers.
+
+        The returned peers (and, symmetrically, the announcing peer) are
+        added to each other's contact lists.
+        """
+        others = sorted(self._known - {peer_id})
+        self._known.add(peer_id)
+        self._contacts.setdefault(peer_id, set())
+        if not others:
+            return []
+        count = min(self.announce_size, len(others))
+        chosen = [int(x) for x in rng.choice(others, size=count, replace=False)]
+        for other in chosen:
+            self._contacts[peer_id].add(other)
+            self._contacts.setdefault(other, set()).add(peer_id)
+        return chosen
+
+    def depart(self, peer_id: int) -> None:
+        """Remove a peer from the tracker (contacts keep their history)."""
+        self._known.discard(peer_id)
+
+    def contacts(self, peer_id: int) -> Set[int]:
+        """Peers that ``peer_id`` knows about (symmetric closure of announces)."""
+        return set(self._contacts.get(peer_id, set()))
+
+    def knowledge_graph(self) -> UndirectedGraph:
+        """The acceptance graph induced by all announces so far."""
+        graph = UndirectedGraph(sorted(self._contacts))
+        for peer_id, contacts in self._contacts.items():
+            for other in contacts:
+                if peer_id < other:
+                    graph.add_edge(peer_id, other)
+        return graph

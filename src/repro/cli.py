@@ -1,0 +1,114 @@
+"""Command-line interface: ``repro-p2p <experiment>``.
+
+Runs one of the paper's experiments and prints the resulting table or
+series summary.  ``repro-p2p list`` shows the available experiment names.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from repro import experiments
+from repro.sim.results import ResultTable
+
+__all__ = ["main", "build_parser"]
+
+
+def _print_series(series: Dict[str, Dict[str, np.ndarray]]) -> None:
+    for label, data in series.items():
+        print(f"== {label}")
+        for key, values in data.items():
+            array = np.asarray(values)
+            if array.size == 1:
+                print(f"   {key}: {float(array[0]):.6g}")
+            else:
+                print(
+                    f"   {key}: {array.size} samples "
+                    f"[first={array[0]:.4g}, last={array[-1]:.4g}, max={array.max():.4g}]"
+                )
+
+
+def _print_result(result: object) -> None:
+    if isinstance(result, ResultTable):
+        print(result.to_text())
+    elif isinstance(result, dict):
+        # Either a series dict or a flat metrics dict.
+        if result and all(isinstance(v, dict) for v in result.values()):
+            _print_series(result)  # type: ignore[arg-type]
+        else:
+            for key, value in result.items():
+                if isinstance(value, (int, float, np.floating)):
+                    print(f"{key}: {float(value):.6g}")
+                elif isinstance(value, np.ndarray):
+                    print(f"{key}: array of {value.size} values")
+                else:
+                    print(f"{key}: {value}")
+    else:
+        print(result)
+
+
+_EXPERIMENTS: Dict[str, Callable[[], object]] = {
+    "figure1": experiments.figure1_convergence,
+    "figure2": experiments.figure2_peer_removal,
+    "figure3": experiments.figure3_churn,
+    "figure4-5": experiments.figure4_figure5_clusters,
+    "figure6": experiments.figure6_phase_transition,
+    "table1": experiments.table1_clustering,
+    "figure7": experiments.figure7_approximation_error,
+    "figure8": experiments.figure8_neighbor_distributions,
+    "figure9": experiments.figure9_validation,
+    "figure10": experiments.figure10_bandwidth_cdf,
+    "figure11": experiments.figure11_efficiency,
+    "swarm": experiments.swarm_stratification_experiment,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-p2p",
+        description=(
+            "Reproduce the experiments of 'Stratification in P2P Networks: "
+            "Application to BitTorrent' (Gai et al., ICDCS 2007)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_EXPERIMENTS) + ["list", "all"],
+        help="experiment to run ('list' to enumerate, 'all' to run everything)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="base random seed (where applicable)"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in sorted(_EXPERIMENTS):
+            print(name)
+        return 0
+
+    names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(f"### {name}")
+        runner = _EXPERIMENTS[name]
+        try:
+            result = runner(seed=args.seed)  # type: ignore[call-arg]
+        except TypeError:
+            result = runner()
+        _print_result(result)
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

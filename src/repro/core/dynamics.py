@@ -1,0 +1,227 @@
+"""Convergence dynamics (Figures 1 and 2).
+
+The simulation process follows Section 3: at each step a uniformly random
+peer takes one initiative (active or not).  A sequence of ``n`` successive
+initiatives is one *base unit* ("one expected initiative per peer"); the
+disorder -- distance between the current configuration and the stable one --
+is recorded once per sampling interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.acceptance import AcceptanceGraph
+from repro.core.initiatives import InitiativeStrategy, make_strategy
+from repro.core.matching import Matching, is_stable
+from repro.core.metrics import disorder
+from repro.core.peer import PeerPopulation
+from repro.core.ranking import GlobalRanking
+from repro.core.stable import stable_configuration
+from repro.sim.random_source import RandomSource
+from repro.sim.recorder import TimeSeries
+
+__all__ = [
+    "ConvergenceResult",
+    "ConvergenceSimulator",
+    "simulate_convergence",
+    "simulate_peer_removal",
+]
+
+
+@dataclass
+class ConvergenceResult:
+    """Outcome of a convergence simulation.
+
+    Attributes
+    ----------
+    trajectory:
+        Disorder samples indexed by time in *base units* (initiatives per peer).
+    initiatives:
+        Total number of initiatives taken.
+    active_initiatives:
+        Number of initiatives that changed the configuration.
+    converged:
+        Whether the final configuration equals the stable configuration.
+    time_to_converge:
+        Base units elapsed when the disorder first reached zero
+        (``None`` if it never did within the simulated horizon).
+    final_matching:
+        The configuration at the end of the simulation.
+    """
+
+    trajectory: TimeSeries
+    initiatives: int
+    active_initiatives: int
+    converged: bool
+    time_to_converge: Optional[float]
+    final_matching: Matching
+
+
+class ConvergenceSimulator:
+    """Simulates peers independently searching for better collaborators.
+
+    Parameters
+    ----------
+    acceptance:
+        The acceptance graph (with its population and slot budgets).
+    strategy:
+        Initiative strategy instance or name (default ``"best-mate"``,
+        matching the paper's simulations).
+    source:
+        Random source used both for picking the initiating peer and, for the
+        random strategy, the proposal target.
+    """
+
+    def __init__(
+        self,
+        acceptance: AcceptanceGraph,
+        strategy: InitiativeStrategy | str = "best-mate",
+        source: Optional[RandomSource] = None,
+    ) -> None:
+        self.acceptance = acceptance
+        self.ranking = GlobalRanking.from_population(acceptance.population)
+        self.strategy = (
+            make_strategy(strategy) if isinstance(strategy, str) else strategy
+        )
+        self.source = source if source is not None else RandomSource(0)
+        self.stable = stable_configuration(acceptance, self.ranking)
+
+    def run(
+        self,
+        *,
+        initial: Optional[Matching] = None,
+        max_base_units: float = 50.0,
+        samples_per_base_unit: int = 4,
+        stop_when_stable: bool = True,
+    ) -> ConvergenceResult:
+        """Run the initiative process and record the disorder trajectory.
+
+        Parameters
+        ----------
+        initial:
+            Starting configuration; the empty configuration by default.
+        max_base_units:
+            Horizon of the simulation, in initiatives per peer.
+        samples_per_base_unit:
+            How many disorder samples to record per base unit.
+        stop_when_stable:
+            Stop as soon as the stable configuration is reached.
+        """
+        matching = initial.copy() if initial is not None else Matching(self.acceptance)
+        n = len(self.acceptance.population)
+        if n == 0:
+            raise ValueError("cannot simulate an empty population")
+        rng = self.source.stream("initiatives")
+
+        trajectory = TimeSeries("disorder")
+        peer_ids = self.acceptance.peer_ids()
+        total_steps = int(round(max_base_units * n))
+        sample_every = max(1, n // max(1, samples_per_base_unit))
+
+        initiatives = 0
+        active = 0
+        time_to_converge: Optional[float] = None
+
+        current_disorder = disorder(matching, self.stable, self.ranking)
+        trajectory.append(0.0, current_disorder)
+        if current_disorder == 0.0:
+            time_to_converge = 0.0
+
+        for step in range(1, total_steps + 1):
+            peer_id = peer_ids[int(rng.integers(len(peer_ids)))]
+            if self.strategy.take_initiative(matching, self.ranking, peer_id, rng):
+                active += 1
+            initiatives += 1
+
+            if step % sample_every == 0 or step == total_steps:
+                base_units = step / n
+                current_disorder = disorder(matching, self.stable, self.ranking)
+                trajectory.append(base_units, current_disorder)
+                if current_disorder == 0.0 and time_to_converge is None:
+                    time_to_converge = base_units
+                    if stop_when_stable:
+                        break
+
+        converged = matching == self.stable
+        return ConvergenceResult(
+            trajectory=trajectory,
+            initiatives=initiatives,
+            active_initiatives=active,
+            converged=converged,
+            time_to_converge=time_to_converge,
+            final_matching=matching,
+        )
+
+
+def simulate_convergence(
+    n: int,
+    expected_degree: float,
+    *,
+    slots: int | Sequence[int] = 1,
+    strategy: str = "best-mate",
+    seed: int = 0,
+    max_base_units: float = 50.0,
+    samples_per_base_unit: int = 4,
+) -> ConvergenceResult:
+    """Figure 1 helper: convergence from the empty configuration.
+
+    Builds peers 1..n (rank = id), an Erdős–Rényi acceptance graph with the
+    given expected degree, and runs the initiative process from the empty
+    configuration.
+    """
+    source = RandomSource(seed)
+    population = PeerPopulation.ranked(n, slots=slots)
+    acceptance = AcceptanceGraph.erdos_renyi(
+        population, expected_degree=expected_degree, rng=source.stream("graph")
+    )
+    simulator = ConvergenceSimulator(acceptance, strategy=strategy, source=source)
+    return simulator.run(
+        max_base_units=max_base_units, samples_per_base_unit=samples_per_base_unit
+    )
+
+
+def simulate_peer_removal(
+    n: int,
+    expected_degree: float,
+    removed_peer: int,
+    *,
+    slots: int | Sequence[int] = 1,
+    strategy: str = "best-mate",
+    seed: int = 0,
+    max_base_units: float = 10.0,
+    samples_per_base_unit: int = 10,
+) -> ConvergenceResult:
+    """Figure 2 helper: start from the stable state, remove one peer, re-converge.
+
+    The initial configuration is the stable configuration of the full
+    system; the peer ``removed_peer`` then leaves, and the simulation
+    measures the disorder with respect to the *new* stable configuration of
+    the reduced system.
+    """
+    source = RandomSource(seed)
+    population = PeerPopulation.ranked(n, slots=slots)
+    acceptance = AcceptanceGraph.erdos_renyi(
+        population, expected_degree=expected_degree, rng=source.stream("graph")
+    )
+    ranking = GlobalRanking.from_population(population)
+    before_removal = stable_configuration(acceptance, ranking)
+
+    # Remove the peer from the system: population, acceptance graph and the
+    # inherited configuration all forget it.
+    before_removal.remove_peer(removed_peer)
+    acceptance.remove_peer(removed_peer)
+
+    simulator = ConvergenceSimulator(acceptance, strategy=strategy, source=source)
+    # Rebind the inherited configuration to the updated acceptance graph.
+    inherited = Matching(acceptance)
+    for p, q in before_removal.pairs():
+        inherited.match(p, q)
+    return simulator.run(
+        initial=inherited,
+        max_base_units=max_base_units,
+        samples_per_base_unit=samples_per_base_unit,
+    )

@@ -1,0 +1,21 @@
+"""Exceptions raised by the stable-matching core."""
+
+from __future__ import annotations
+
+__all__ = ["ModelError", "MatchingError", "CapacityError", "UnknownPeerError"]
+
+
+class ModelError(Exception):
+    """Base class for errors raised by the stable-matching model."""
+
+
+class MatchingError(ModelError):
+    """Raised when a matching operation violates the model's constraints."""
+
+
+class CapacityError(MatchingError):
+    """Raised when a peer would exceed its slot budget b(p)."""
+
+
+class UnknownPeerError(ModelError):
+    """Raised when an operation references a peer that is not in the system."""

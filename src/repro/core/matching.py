@@ -1,0 +1,242 @@
+"""b-matching configurations, blocking pairs and stability.
+
+A *configuration* (Section 2) is a subgraph of the acceptance graph in which
+every peer p has degree at most b(p).  A *blocking pair* is a pair of peers
+not matched together that both wish to be matched together -- either because
+they have a spare slot or because they prefer each other to their current
+worst mate.  A configuration with no blocking pair is *stable* and, for the
+global-ranking class, unique.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.core.acceptance import AcceptanceGraph
+from repro.core.exceptions import CapacityError, MatchingError, UnknownPeerError
+from repro.core.ranking import GlobalRanking
+from repro.graphs.base import UndirectedGraph
+
+__all__ = [
+    "Matching",
+    "is_blocking_pair",
+    "blocking_pairs",
+    "find_blocking_mate",
+    "is_stable",
+]
+
+
+class Matching:
+    """A b-matching configuration over an acceptance graph.
+
+    The matching keeps, for every peer, the set of its current mates.  All
+    mutating operations maintain the configuration invariants:
+
+    * every matched pair is an edge of the acceptance graph,
+    * the matching is symmetric, and
+    * no peer exceeds its slot budget.
+    """
+
+    def __init__(self, acceptance: AcceptanceGraph) -> None:
+        self.acceptance = acceptance
+        self._mates: Dict[int, Set[int]] = {
+            peer_id: set() for peer_id in acceptance.peer_ids()
+        }
+
+    # -- basic queries ---------------------------------------------------------
+
+    def mates(self, peer_id: int) -> Set[int]:
+        """The current mates of ``peer_id`` (do not mutate the returned set)."""
+        if peer_id not in self._mates:
+            raise UnknownPeerError(f"peer {peer_id} not in matching")
+        return self._mates[peer_id]
+
+    def degree(self, peer_id: int) -> int:
+        """Number of current mates of ``peer_id``."""
+        return len(self.mates(peer_id))
+
+    def capacity(self, peer_id: int) -> int:
+        """Slot budget b(p) of ``peer_id``."""
+        return self.acceptance.population.get(peer_id).slots
+
+    def free_slots(self, peer_id: int) -> int:
+        """Remaining slots of ``peer_id``."""
+        return self.capacity(peer_id) - self.degree(peer_id)
+
+    def is_matched(self, p: int, q: int) -> bool:
+        """Whether p and q are currently matched together."""
+        return p in self._mates and q in self._mates[p]
+
+    def pairs(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over matched pairs once each, as (min, max) tuples."""
+        for p in sorted(self._mates):
+            for q in sorted(self._mates[p]):
+                if p < q:
+                    yield (p, q)
+
+    def pair_count(self) -> int:
+        """Number of matched pairs."""
+        return sum(len(mates) for mates in self._mates.values()) // 2
+
+    def peer_ids(self) -> List[int]:
+        """Sorted peer ids covered by this matching."""
+        return sorted(self._mates)
+
+    def mate_of(self, peer_id: int) -> Optional[int]:
+        """For 1-matchings: the unique mate of ``peer_id`` or ``None``.
+
+        Raises :class:`MatchingError` when the peer has several mates.
+        """
+        mates = self.mates(peer_id)
+        if len(mates) > 1:
+            raise MatchingError(
+                f"peer {peer_id} has {len(mates)} mates; mate_of() requires a 1-matching"
+            )
+        return next(iter(mates), None)
+
+    # -- mutation --------------------------------------------------------------
+
+    def match(self, p: int, q: int) -> None:
+        """Match p and q together, enforcing all configuration invariants."""
+        if p == q:
+            raise MatchingError(f"cannot match peer {p} with itself")
+        if not self.acceptance.accepts(p, q):
+            raise MatchingError(f"({p}, {q}) is not an acceptance-graph edge")
+        if self.is_matched(p, q):
+            raise MatchingError(f"({p}, {q}) is already matched")
+        if self.free_slots(p) <= 0:
+            raise CapacityError(f"peer {p} has no free slot")
+        if self.free_slots(q) <= 0:
+            raise CapacityError(f"peer {q} has no free slot")
+        self._mates[p].add(q)
+        self._mates[q].add(p)
+
+    def unmatch(self, p: int, q: int) -> None:
+        """Break the collaboration between p and q."""
+        if not self.is_matched(p, q):
+            raise MatchingError(f"({p}, {q}) is not currently matched")
+        self._mates[p].discard(q)
+        self._mates[q].discard(p)
+
+    def drop_all(self, peer_id: int) -> List[int]:
+        """Break all collaborations of ``peer_id`` and return its ex-mates."""
+        ex_mates = sorted(self.mates(peer_id))
+        for mate in ex_mates:
+            self.unmatch(peer_id, mate)
+        return ex_mates
+
+    def remove_peer(self, peer_id: int) -> List[int]:
+        """Forget a peer entirely (used when it leaves the system)."""
+        ex_mates = self.drop_all(peer_id)
+        del self._mates[peer_id]
+        return ex_mates
+
+    def add_peer(self, peer_id: int) -> None:
+        """Start tracking a new peer (no mates yet)."""
+        if peer_id in self._mates:
+            raise MatchingError(f"peer {peer_id} already in matching")
+        if peer_id not in self.acceptance.population:
+            raise UnknownPeerError(f"peer {peer_id} not in population")
+        self._mates[peer_id] = set()
+
+    # -- conversions -----------------------------------------------------------
+
+    def copy(self) -> "Matching":
+        """A deep copy bound to the same acceptance graph object."""
+        clone = Matching(self.acceptance)
+        clone._mates = {peer_id: set(mates) for peer_id, mates in self._mates.items()}
+        return clone
+
+    def as_graph(self) -> UndirectedGraph:
+        """The collaboration graph: vertices = peers, edges = matched pairs."""
+        graph = UndirectedGraph(self.peer_ids())
+        for p, q in self.pairs():
+            graph.add_edge(p, q)
+        return graph
+
+    def mate_vector(self, ranking: GlobalRanking) -> Dict[int, List[int]]:
+        """Mates of every peer sorted best-first (used by the disorder metric)."""
+        return {
+            peer_id: ranking.sorted_by_rank(mates)
+            for peer_id, mates in self._mates.items()
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Matching):
+            return NotImplemented
+        return self._mates == other._mates
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Matching(peers={len(self._mates)}, pairs={self.pair_count()})"
+
+
+# -- blocking pairs and stability -----------------------------------------------
+
+
+def _would_accept(matching: Matching, ranking: GlobalRanking, judge: int, candidate: int) -> bool:
+    """Whether ``judge`` would take ``candidate`` as a new mate.
+
+    True when the judge has a spare slot, or prefers the candidate to its
+    current worst mate (which it would then drop).
+    """
+    if matching.free_slots(judge) > 0:
+        return True
+    current = matching.mates(judge)
+    if not current:
+        return False
+    worst = ranking.worst_of(current)
+    return ranking.rank(candidate) < ranking.rank(worst)
+
+
+def is_blocking_pair(
+    matching: Matching, ranking: GlobalRanking, p: int, q: int
+) -> bool:
+    """Whether (p, q) is a blocking pair for the configuration."""
+    if p == q:
+        return False
+    if not matching.acceptance.accepts(p, q):
+        return False
+    if matching.is_matched(p, q):
+        return False
+    return _would_accept(matching, ranking, p, q) and _would_accept(matching, ranking, q, p)
+
+
+def blocking_pairs(
+    matching: Matching, ranking: GlobalRanking, limit: Optional[int] = None
+) -> List[Tuple[int, int]]:
+    """All blocking pairs (optionally stopping after ``limit`` of them)."""
+    found: List[Tuple[int, int]] = []
+    for p in matching.peer_ids():
+        for q in sorted(matching.acceptance.acceptable_peers(p)):
+            if p < q and is_blocking_pair(matching, ranking, p, q):
+                found.append((p, q))
+                if limit is not None and len(found) >= limit:
+                    return found
+    return found
+
+
+def find_blocking_mate(
+    matching: Matching,
+    ranking: GlobalRanking,
+    peer_id: int,
+    candidates: Optional[Iterable[int]] = None,
+) -> Optional[int]:
+    """The best blocking mate for ``peer_id`` among ``candidates`` (or all).
+
+    Returns ``None`` when the peer participates in no blocking pair, i.e. it
+    cannot improve its situation by any initiative.
+    """
+    if candidates is None:
+        candidates = matching.acceptance.acceptable_peers(peer_id)
+    best: Optional[int] = None
+    for candidate in candidates:
+        if not is_blocking_pair(matching, ranking, peer_id, candidate):
+            continue
+        if best is None or ranking.rank(candidate) < ranking.rank(best):
+            best = candidate
+    return best
+
+
+def is_stable(matching: Matching, ranking: GlobalRanking) -> bool:
+    """Whether the configuration admits no blocking pair."""
+    return not blocking_pairs(matching, ranking, limit=1)

@@ -1,0 +1,147 @@
+"""Disorder distance and Mean Max Offset (MMO).
+
+Two quantities from the paper:
+
+* the *disorder* / configuration distance (Section 3),
+
+  .. math::
+
+     D(C_1, C_2) = \\frac{2}{n(n+1)} \\sum_{i=1}^{n}
+        \\lVert \\sigma(C_1, i) - \\sigma(C_2, i) \\rVert
+
+  where ``sigma(C, i)`` is the rank of the mate of peer i (``n + 1`` when i
+  is unmatched).  The normalisation makes the distance between a complete
+  1-matching and the empty configuration equal to 1.
+
+* the *Mean Max Offset* (Section 4.2): the average, over peers, of the rank
+  offset between a peer and its furthest mate in the collaboration graph;
+  the closed form for constant b0-matching converges to ``3/4 * b0``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from repro.core.matching import Matching
+from repro.core.ranking import GlobalRanking
+from repro.graphs.base import UndirectedGraph
+
+__all__ = [
+    "matching_distance",
+    "disorder",
+    "mean_max_offset",
+    "mean_max_offset_exact_constant",
+    "collaboration_graph",
+    "unmatched_peers",
+    "match_rate",
+]
+
+
+def _sigma(matching: Matching, ranking: GlobalRanking, peer_id: int, unmatched_rank: int) -> List[int]:
+    """Sorted mate ranks of ``peer_id``, padded with ``unmatched_rank``."""
+    capacity = matching.capacity(peer_id)
+    ranks = sorted(ranking.rank(mate) for mate in matching.mates(peer_id))
+    ranks.extend([unmatched_rank] * (capacity - len(ranks)))
+    return ranks
+
+
+def matching_distance(
+    first: Matching,
+    second: Matching,
+    ranking: GlobalRanking,
+) -> float:
+    """The paper's configuration distance D(C1, C2).
+
+    For 1-matchings this is exactly the formula of Section 3: the absolute
+    difference between the mate ranks of every peer (rank ``n + 1`` when
+    unmatched), normalised by ``n(n+1)/2`` so that a complete matching is at
+    distance 1 from the empty configuration.  For b-matchings every peer
+    contributes its slot-by-slot comparison of sorted mate-rank vectors with
+    the same normalisation; the paper only uses the 1-matching case, and the
+    generalised value may exceed 1 when peers have many slots.
+    """
+    peer_ids = sorted(set(first.peer_ids()) & set(second.peer_ids()))
+    if not peer_ids:
+        return 0.0
+    n = len(ranking)
+    unmatched_rank = n + 1
+
+    total = 0.0
+    for peer_id in peer_ids:
+        sigma_first = _sigma(first, ranking, peer_id, unmatched_rank)
+        sigma_second = _sigma(second, ranking, peer_id, unmatched_rank)
+        width = max(len(sigma_first), len(sigma_second))
+        sigma_first.extend([unmatched_rank] * (width - len(sigma_first)))
+        sigma_second.extend([unmatched_rank] * (width - len(sigma_second)))
+        total += sum(abs(a - b) for a, b in zip(sigma_first, sigma_second))
+    return total * 2.0 / (n * (n + 1))
+
+
+def disorder(current: Matching, stable: Matching, ranking: GlobalRanking) -> float:
+    """Distance between the current configuration and the stable one."""
+    return matching_distance(current, stable, ranking)
+
+
+def collaboration_graph(matching: Matching) -> UndirectedGraph:
+    """The collaboration graph induced by a configuration."""
+    return matching.as_graph()
+
+
+def mean_max_offset(
+    matching: Matching,
+    ranking: GlobalRanking,
+    *,
+    skip_unmatched: bool = True,
+) -> float:
+    """Empirical Mean Max Offset of a configuration.
+
+    For every peer, compute the largest rank offset to one of its mates in
+    the collaboration graph, and average.  Peers with no mate contribute 0
+    unless ``skip_unmatched`` (the default) excludes them entirely.
+    """
+    offsets: List[int] = []
+    for peer_id in matching.peer_ids():
+        mates = matching.mates(peer_id)
+        if not mates:
+            if not skip_unmatched:
+                offsets.append(0)
+            continue
+        offsets.append(max(ranking.offset(peer_id, mate) for mate in mates))
+    if not offsets:
+        return 0.0
+    return sum(offsets) / len(offsets)
+
+
+def mean_max_offset_exact_constant(b0: int) -> float:
+    """Closed-form MMO of constant b0-matching on a complete acceptance graph.
+
+    Inside one (b0+1)-clique the peer at position k (1-based) has its
+    furthest mate at offset ``max(k - 1, b0 + 1 - k)``; averaging gives the
+    paper's expression, which tends to ``3/4 * b0`` as b0 grows.
+    """
+    if b0 < 0:
+        raise ValueError("b0 must be non-negative")
+    if b0 == 0:
+        return 0.0
+    size = b0 + 1
+    offsets = [max(k - 1, size - k) for k in range(1, size + 1)]
+    return sum(offsets) / size
+
+
+def unmatched_peers(matching: Matching) -> List[int]:
+    """Peers with at least one free slot and no mate at all."""
+    return [
+        peer_id
+        for peer_id in matching.peer_ids()
+        if matching.degree(peer_id) == 0
+    ]
+
+
+def match_rate(matching: Matching) -> float:
+    """Fraction of slots that are filled (B_used / B)."""
+    total_capacity = sum(matching.capacity(p) for p in matching.peer_ids())
+    if total_capacity == 0:
+        return 0.0
+    used = sum(matching.degree(p) for p in matching.peer_ids())
+    return used / total_capacity

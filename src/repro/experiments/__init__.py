@@ -1,0 +1,31 @@
+"""Figure / table reproduction drivers shared by benchmarks, examples and the CLI."""
+
+from repro.experiments.figures import (
+    figure1_convergence,
+    figure2_peer_removal,
+    figure3_churn,
+    figure4_figure5_clusters,
+    figure6_phase_transition,
+    figure7_approximation_error,
+    figure8_neighbor_distributions,
+    figure9_validation,
+    figure10_bandwidth_cdf,
+    figure11_efficiency,
+    swarm_stratification_experiment,
+    table1_clustering,
+)
+
+__all__ = [
+    "figure1_convergence",
+    "figure2_peer_removal",
+    "figure3_churn",
+    "figure4_figure5_clusters",
+    "figure6_phase_transition",
+    "figure7_approximation_error",
+    "figure8_neighbor_distributions",
+    "figure9_validation",
+    "figure10_bandwidth_cdf",
+    "figure11_efficiency",
+    "swarm_stratification_experiment",
+    "table1_clustering",
+]

@@ -1,0 +1,23 @@
+"""Complete acceptance graphs (Section 4's toy model)."""
+
+from __future__ import annotations
+
+from repro.graphs.base import UndirectedGraph
+
+__all__ = ["complete_graph"]
+
+
+def complete_graph(n: int, *, first_id: int = 1) -> UndirectedGraph:
+    """Return the complete graph on ``n`` vertices labelled from ``first_id``.
+
+    In the complete acceptance graph every peer is willing to collaborate
+    with every other peer; this is the setting of the paper's Section 4
+    where pure clustering / stratification is easiest to see.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    graph = UndirectedGraph(range(first_id, first_id + n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            graph.add_edge(first_id + u, first_id + v)
+    return graph

@@ -1,0 +1,116 @@
+"""Structural graph statistics.
+
+These helpers are used to characterise both acceptance graphs (checking the
+Erdős–Rényi generator really delivers the requested expected degree) and
+collaboration graphs (degree distribution, clustering coefficient, distance
+estimates that quantify the stratification discussion of Section 4).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.graphs.base import UndirectedGraph
+
+__all__ = [
+    "mean_degree",
+    "degree_histogram",
+    "clustering_coefficient",
+    "shortest_path_lengths",
+    "average_shortest_path_length",
+    "graph_diameter",
+]
+
+
+def mean_degree(graph: UndirectedGraph) -> float:
+    """Average vertex degree (0 for an empty graph)."""
+    if graph.vertex_count == 0:
+        return 0.0
+    return 2.0 * graph.edge_count / graph.vertex_count
+
+
+def degree_histogram(graph: UndirectedGraph) -> Dict[int, int]:
+    """Mapping degree -> number of vertices with that degree."""
+    histogram: Dict[int, int] = {}
+    for degree in graph.degrees().values():
+        histogram[degree] = histogram.get(degree, 0) + 1
+    return dict(sorted(histogram.items()))
+
+
+def clustering_coefficient(graph: UndirectedGraph, vertex: Optional[int] = None) -> float:
+    """Local clustering coefficient of ``vertex``, or the graph average.
+
+    The local coefficient of a vertex with degree < 2 is defined as 0.
+    """
+    if vertex is not None:
+        return _local_clustering(graph, vertex)
+    vertices = graph.vertices()
+    if not vertices:
+        return 0.0
+    return float(np.mean([_local_clustering(graph, v) for v in vertices]))
+
+
+def _local_clustering(graph: UndirectedGraph, vertex: int) -> float:
+    neighbors = list(graph.neighbors(vertex))
+    k = len(neighbors)
+    if k < 2:
+        return 0.0
+    links = 0
+    for i in range(k):
+        for j in range(i + 1, k):
+            if graph.has_edge(neighbors[i], neighbors[j]):
+                links += 1
+    return 2.0 * links / (k * (k - 1))
+
+
+def shortest_path_lengths(graph: UndirectedGraph, source: int) -> Dict[int, int]:
+    """BFS distances from ``source`` to every reachable vertex."""
+    if not graph.has_vertex(source):
+        raise KeyError(f"vertex {source} not in graph")
+    distances = {source: 0}
+    frontier = deque([source])
+    while frontier:
+        current = frontier.popleft()
+        for neighbor in graph.neighbors(current):
+            if neighbor not in distances:
+                distances[neighbor] = distances[current] + 1
+                frontier.append(neighbor)
+    return distances
+
+
+def average_shortest_path_length(
+    graph: UndirectedGraph, sample_sources: Optional[List[int]] = None
+) -> float:
+    """Average pairwise distance within components.
+
+    For large graphs an explicit ``sample_sources`` list can be supplied to
+    estimate the average from a subset of BFS trees.
+    """
+    sources = sample_sources if sample_sources is not None else graph.vertices()
+    total = 0
+    count = 0
+    for source in sources:
+        distances = shortest_path_lengths(graph, source)
+        for target, distance in distances.items():
+            if target != source:
+                total += distance
+                count += 1
+    if count == 0:
+        return 0.0
+    return total / count
+
+
+def graph_diameter(graph: UndirectedGraph) -> int:
+    """Largest eccentricity over all vertices (within components).
+
+    Returns 0 for graphs with fewer than two vertices.
+    """
+    diameter = 0
+    for source in graph.vertices():
+        distances = shortest_path_lengths(graph, source)
+        if distances:
+            diameter = max(diameter, max(distances.values()))
+    return diameter

@@ -1,0 +1,43 @@
+"""Discrete-event simulation substrate.
+
+This subpackage provides the simulation machinery that the rest of the
+library is built on:
+
+* :mod:`repro.sim.random_source` -- reproducible, named random streams.
+* :mod:`repro.sim.clock` -- simulation clock.
+* :mod:`repro.sim.engine` -- a small discrete-event simulation kernel
+  (event queue, processes, scheduling).
+* :mod:`repro.sim.recorder` -- time-series metric recording.
+* :mod:`repro.sim.experiment` -- experiment definitions, parameter sweeps
+  and repetition management.
+* :mod:`repro.sim.results` -- tabular results with aggregation and plain
+  text rendering (used to print the paper's tables).
+
+The kernel is intentionally dependency-free (standard library + numpy) and
+single-threaded: the paper's simulations are all sequential peer-sampling
+processes, so determinism and reproducibility matter far more than raw
+parallel throughput.
+"""
+
+from repro.sim.clock import SimulationClock
+from repro.sim.engine import Event, EventQueue, SimulationEngine, Process
+from repro.sim.experiment import Experiment, ParameterGrid, RunResult, run_experiment
+from repro.sim.random_source import RandomSource
+from repro.sim.recorder import MetricRecorder, TimeSeries
+from repro.sim.results import ResultTable
+
+__all__ = [
+    "SimulationClock",
+    "Event",
+    "EventQueue",
+    "SimulationEngine",
+    "Process",
+    "Experiment",
+    "ParameterGrid",
+    "RunResult",
+    "run_experiment",
+    "RandomSource",
+    "MetricRecorder",
+    "TimeSeries",
+    "ResultTable",
+]

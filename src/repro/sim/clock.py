@@ -1,0 +1,80 @@
+"""Simulation clock.
+
+The paper measures time in *initiatives per peer* (one "base unit" is a
+sequence of ``n`` successive initiatives).  :class:`SimulationClock` keeps
+track of a monotonically non-decreasing simulation time and exposes helpers
+to convert between raw step counts and base units.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SimulationClock", "ClockError"]
+
+
+class ClockError(RuntimeError):
+    """Raised when simulation time would move backwards."""
+
+
+class SimulationClock:
+    """Monotonic simulation clock measured in abstract time units.
+
+    Parameters
+    ----------
+    start:
+        Initial simulation time (default ``0.0``).
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._steps = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def steps(self) -> int:
+        """Number of discrete advances made so far."""
+        return self._steps
+
+    def advance_to(self, timestamp: float) -> None:
+        """Move the clock forward to ``timestamp``.
+
+        Raises
+        ------
+        ClockError
+            If ``timestamp`` is earlier than the current time.
+        """
+        timestamp = float(timestamp)
+        if timestamp < self._now:
+            raise ClockError(
+                f"cannot move clock backwards from {self._now} to {timestamp}"
+            )
+        self._now = timestamp
+        self._steps += 1
+
+    def advance_by(self, delta: float) -> None:
+        """Move the clock forward by ``delta`` (must be non-negative)."""
+        if delta < 0:
+            raise ClockError(f"cannot advance clock by negative delta {delta}")
+        self._now += float(delta)
+        self._steps += 1
+
+    def reset(self, start: float = 0.0) -> None:
+        """Reset to ``start`` and clear the step counter."""
+        self._now = float(start)
+        self._steps = 0
+
+    def base_units(self, population: int) -> float:
+        """Convert the current step count into the paper's *base units*.
+
+        One base unit is ``population`` successive initiatives (one expected
+        initiative per peer).
+        """
+        if population <= 0:
+            raise ValueError("population must be positive")
+        return self._steps / float(population)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"SimulationClock(now={self._now}, steps={self._steps})"

@@ -1,0 +1,272 @@
+"""A small discrete-event simulation kernel.
+
+The kernel follows the classic event-list design: events carry a timestamp,
+a priority and a callback; the engine pops them in (time, priority,
+sequence) order and executes the callback, which may schedule further
+events.  :class:`Process` is a light convenience wrapper for recurring
+activities (e.g. the churn process or the periodic BitTorrent rechoke).
+
+The paper's core simulations (Sections 3-5) are step-based rather than
+time-based, so they mostly use the engine in "one event per initiative"
+mode; the BitTorrent swarm simulator uses genuine timed rounds.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.sim.clock import SimulationClock
+
+__all__ = ["Event", "EventQueue", "SimulationEngine", "Process", "EngineError"]
+
+
+class EngineError(RuntimeError):
+    """Raised on invalid scheduling operations."""
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    """Internal heap entry.  Ordering: time, then priority, then sequence."""
+
+    time: float
+    priority: int
+    sequence: int
+    event: "Event" = field(compare=False)
+
+
+@dataclass
+class Event:
+    """A scheduled simulation event.
+
+    Attributes
+    ----------
+    time:
+        Simulation time at which the event fires.
+    callback:
+        Callable invoked as ``callback(engine)`` when the event fires.
+    priority:
+        Events at equal time fire in increasing priority order.
+    name:
+        Optional label used in traces.
+    """
+
+    time: float
+    callback: Callable[["SimulationEngine"], None]
+    priority: int = 0
+    name: str = ""
+    cancelled: bool = False
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: List[_QueueEntry] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for entry in self._heap if not entry.event.cancelled)
+
+    def push(self, event: Event) -> Event:
+        """Add an event and return it (so callers can later cancel it)."""
+        entry = _QueueEntry(event.time, event.priority, next(self._counter), event)
+        heapq.heappush(self._heap, entry)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next non-cancelled event, or ``None``."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if not entry.event.cancelled:
+                return entry.event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the time of the next non-cancelled event, or ``None``."""
+        while self._heap and self._heap[0].event.cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def clear(self) -> None:
+        """Drop all pending events."""
+        self._heap.clear()
+
+
+class SimulationEngine:
+    """Drives the event loop.
+
+    Parameters
+    ----------
+    clock:
+        Optional externally supplied clock; a fresh one is created otherwise.
+    """
+
+    def __init__(self, clock: Optional[SimulationClock] = None) -> None:
+        self.clock = clock if clock is not None else SimulationClock()
+        self.queue = EventQueue()
+        self._running = False
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self.clock.now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[["SimulationEngine"], None],
+        *,
+        priority: int = 0,
+        name: str = "",
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise EngineError(f"cannot schedule event in the past (delay={delay})")
+        event = Event(self.clock.now + delay, callback, priority=priority, name=name)
+        return self.queue.push(event)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[["SimulationEngine"], None],
+        *,
+        priority: int = 0,
+        name: str = "",
+    ) -> Event:
+        """Schedule ``callback`` at the absolute simulation time ``time``."""
+        if time < self.clock.now:
+            raise EngineError(
+                f"cannot schedule event at {time}, current time is {self.clock.now}"
+            )
+        event = Event(time, callback, priority=priority, name=name)
+        return self.queue.push(event)
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run the event loop.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event would fire strictly after this time.
+        max_events:
+            Stop after executing this many events.
+
+        Returns
+        -------
+        int
+            The number of events executed by this call.
+        """
+        executed = 0
+        self._running = True
+        try:
+            while self._running:
+                if max_events is not None and executed >= max_events:
+                    break
+                next_time = self.queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                event = self.queue.pop()
+                if event is None:
+                    break
+                self.clock.advance_to(event.time)
+                event.callback(self)
+                executed += 1
+                self._processed += 1
+        finally:
+            self._running = False
+        if until is not None and self.clock.now < until and self.queue.peek_time() is None:
+            # Advance idle time to the requested horizon.
+            self.clock.advance_to(until)
+        return executed
+
+    def stop(self) -> None:
+        """Request the running loop to stop after the current event."""
+        self._running = False
+
+    def reset(self) -> None:
+        """Clear the event queue and reset the clock."""
+        self.queue.clear()
+        self.clock.reset()
+        self._processed = 0
+
+
+class Process:
+    """A recurring activity driven by the engine.
+
+    Subclasses (or callers supplying ``action``) implement one *tick*; the
+    process reschedules itself every ``interval`` time units until stopped.
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        interval: float,
+        action: Optional[Callable[[SimulationEngine], None]] = None,
+        *,
+        name: str = "process",
+        priority: int = 0,
+    ) -> None:
+        if interval <= 0:
+            raise EngineError("process interval must be positive")
+        self.engine = engine
+        self.interval = float(interval)
+        self.name = name
+        self.priority = priority
+        self._action = action
+        self._next_event: Optional[Event] = None
+        self._ticks = 0
+        self._stopped = True
+
+    @property
+    def ticks(self) -> int:
+        """Number of completed ticks."""
+        return self._ticks
+
+    @property
+    def running(self) -> bool:
+        """Whether the process is currently scheduled."""
+        return not self._stopped
+
+    def tick(self, engine: SimulationEngine) -> None:
+        """One activation of the process; default delegates to ``action``."""
+        if self._action is not None:
+            self._action(engine)
+
+    def start(self, initial_delay: float = 0.0) -> None:
+        """Start the process; the first tick happens after ``initial_delay``."""
+        self._stopped = False
+        self._next_event = self.engine.schedule(
+            initial_delay, self._fire, priority=self.priority, name=self.name
+        )
+
+    def stop(self) -> None:
+        """Stop the process; any pending tick is cancelled."""
+        self._stopped = True
+        if self._next_event is not None:
+            self._next_event.cancel()
+            self._next_event = None
+
+    def _fire(self, engine: SimulationEngine) -> None:
+        if self._stopped:
+            return
+        self.tick(engine)
+        self._ticks += 1
+        if not self._stopped:
+            self._next_event = engine.schedule(
+                self.interval, self._fire, priority=self.priority, name=self.name
+            )

@@ -1,0 +1,152 @@
+"""Experiment definitions and parameter sweeps.
+
+The paper's evaluation is a collection of parameter sweeps (graph sizes,
+degrees, churn rates, slot counts, sigma values...).  This module provides a
+small, explicit harness for describing such sweeps, running them with
+repetitions over independent random seeds, and collecting results.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time as _time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
+
+from repro.sim.random_source import RandomSource
+
+__all__ = ["ParameterGrid", "RunResult", "Experiment", "run_experiment"]
+
+
+class ParameterGrid:
+    """Cartesian product of named parameter values.
+
+    Examples
+    --------
+    >>> grid = ParameterGrid(n=[100, 1000], d=[10, 50])
+    >>> len(list(grid))
+    4
+    """
+
+    def __init__(self, **parameters: Sequence[Any]) -> None:
+        if not parameters:
+            raise ValueError("a parameter grid needs at least one parameter")
+        self._names = list(parameters)
+        self._values = [list(parameters[name]) for name in self._names]
+        for name, values in zip(self._names, self._values):
+            if not values:
+                raise ValueError(f"parameter '{name}' has no values")
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        for combo in itertools.product(*self._values):
+            yield dict(zip(self._names, combo))
+
+    def __len__(self) -> int:
+        total = 1
+        for values in self._values:
+            total *= len(values)
+        return total
+
+    @property
+    def names(self) -> List[str]:
+        """Names of the swept parameters."""
+        return list(self._names)
+
+
+@dataclass
+class RunResult:
+    """Outcome of one (parameters, repetition) run."""
+
+    parameters: Dict[str, Any]
+    repetition: int
+    seed: int
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    wall_time: float = 0.0
+
+    def metric(self, name: str) -> Any:
+        """Return one metric value, raising a clear error when missing."""
+        if name not in self.metrics:
+            raise KeyError(
+                f"metric '{name}' not recorded; available: {sorted(self.metrics)}"
+            )
+        return self.metrics[name]
+
+
+@dataclass
+class Experiment:
+    """A named, repeatable parameter sweep.
+
+    Attributes
+    ----------
+    name:
+        Experiment identifier (used to derive per-run seeds).
+    grid:
+        The parameter combinations to explore.
+    runner:
+        Callable invoked as ``runner(params, source)`` returning a mapping of
+        metric name to value.
+    repetitions:
+        Number of independent repetitions per parameter combination.
+    base_seed:
+        Master seed; per-run seeds are derived deterministically from it.
+    """
+
+    name: str
+    grid: ParameterGrid
+    runner: Callable[[Dict[str, Any], RandomSource], Mapping[str, Any]]
+    repetitions: int = 1
+    base_seed: int = 0
+
+    def run(self) -> List[RunResult]:
+        """Execute every (parameters, repetition) pair and collect results."""
+        if self.repetitions <= 0:
+            raise ValueError("repetitions must be positive")
+        master = RandomSource(self.base_seed)
+        results: List[RunResult] = []
+        for params in self.grid:
+            for repetition in range(self.repetitions):
+                label = self._run_label(params, repetition)
+                source = master.spawn(label)
+                start = _time.perf_counter()
+                metrics = dict(self.runner(dict(params), source))
+                elapsed = _time.perf_counter() - start
+                results.append(
+                    RunResult(
+                        parameters=dict(params),
+                        repetition=repetition,
+                        seed=source.seed,
+                        metrics=metrics,
+                        wall_time=elapsed,
+                    )
+                )
+        return results
+
+    def _run_label(self, params: Mapping[str, Any], repetition: int) -> str:
+        flat = ",".join(f"{key}={params[key]}" for key in sorted(params))
+        return f"{self.name}[{flat}]#rep{repetition}"
+
+
+def run_experiment(
+    name: str,
+    grid: ParameterGrid,
+    runner: Callable[[Dict[str, Any], RandomSource], Mapping[str, Any]],
+    *,
+    repetitions: int = 1,
+    base_seed: int = 0,
+) -> List[RunResult]:
+    """Functional shortcut: build an :class:`Experiment` and run it."""
+    experiment = Experiment(
+        name=name, grid=grid, runner=runner, repetitions=repetitions, base_seed=base_seed
+    )
+    return experiment.run()
+
+
+def group_results(
+    results: Iterable[RunResult], by: Sequence[str]
+) -> Dict[tuple, List[RunResult]]:
+    """Group run results by the values of the given parameter names."""
+    grouped: Dict[tuple, List[RunResult]] = {}
+    for result in results:
+        key = tuple(result.parameters[name] for name in by)
+        grouped.setdefault(key, []).append(result)
+    return grouped

@@ -1,0 +1,152 @@
+"""Metric recording utilities.
+
+:class:`TimeSeries` stores (time, value) samples for one metric;
+:class:`MetricRecorder` manages a collection of named series.  These are the
+objects returned by the convergence / churn simulations and consumed by the
+benchmark harnesses that re-print the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["TimeSeries", "MetricRecorder"]
+
+
+@dataclass
+class TimeSeries:
+    """An append-only series of (time, value) samples."""
+
+    name: str
+    times: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def append(self, time: float, value: float) -> None:
+        """Append one sample; time must be non-decreasing."""
+        if self.times and time < self.times[-1]:
+            raise ValueError(
+                f"time series '{self.name}' must be sampled in order "
+                f"({time} < {self.times[-1]})"
+            )
+        self.times.append(float(time))
+        self.values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self):
+        return iter(zip(self.times, self.values))
+
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return (times, values) as numpy arrays."""
+        return np.asarray(self.times, dtype=float), np.asarray(self.values, dtype=float)
+
+    def last(self) -> float:
+        """Return the most recent value."""
+        if not self.values:
+            raise ValueError(f"time series '{self.name}' is empty")
+        return self.values[-1]
+
+    def value_at(self, time: float) -> float:
+        """Return the value of the last sample taken at or before ``time``."""
+        if not self.times:
+            raise ValueError(f"time series '{self.name}' is empty")
+        idx = int(np.searchsorted(self.times, time, side="right")) - 1
+        if idx < 0:
+            raise ValueError(f"no sample at or before time {time}")
+        return self.values[idx]
+
+    def mean(self, after: float = float("-inf")) -> float:
+        """Mean of values sampled strictly after ``after``."""
+        selected = [v for t, v in zip(self.times, self.values) if t > after]
+        if not selected:
+            raise ValueError("no samples in requested window")
+        return float(np.mean(selected))
+
+    def max(self) -> float:
+        """Maximum recorded value."""
+        if not self.values:
+            raise ValueError(f"time series '{self.name}' is empty")
+        return float(np.max(self.values))
+
+    def min(self) -> float:
+        """Minimum recorded value."""
+        if not self.values:
+            raise ValueError(f"time series '{self.name}' is empty")
+        return float(np.min(self.values))
+
+    def first_time_below(self, threshold: float) -> Optional[float]:
+        """Earliest sample time whose value is <= ``threshold`` (or None)."""
+        for t, v in zip(self.times, self.values):
+            if v <= threshold:
+                return t
+        return None
+
+    def tail_mean(self, fraction: float = 0.25) -> float:
+        """Mean over the final ``fraction`` of the samples."""
+        if not 0 < fraction <= 1:
+            raise ValueError("fraction must be in (0, 1]")
+        if not self.values:
+            raise ValueError(f"time series '{self.name}' is empty")
+        count = max(1, int(round(fraction * len(self.values))))
+        return float(np.mean(self.values[-count:]))
+
+
+class MetricRecorder:
+    """A named collection of :class:`TimeSeries`."""
+
+    def __init__(self) -> None:
+        self._series: Dict[str, TimeSeries] = {}
+
+    def series(self, name: str) -> TimeSeries:
+        """Return the named series, creating it on first use."""
+        if name not in self._series:
+            self._series[name] = TimeSeries(name)
+        return self._series[name]
+
+    def record(self, name: str, time: float, value: float) -> None:
+        """Append one sample to the named series."""
+        self.series(name).append(time, value)
+
+    def record_many(self, time: float, values: Mapping[str, float]) -> None:
+        """Append one sample per metric, all at the same time."""
+        for name, value in values.items():
+            self.record(name, time, value)
+
+    def names(self) -> List[str]:
+        """Sorted list of metric names."""
+        return sorted(self._series)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._series
+
+    def __getitem__(self, name: str) -> TimeSeries:
+        if name not in self._series:
+            raise KeyError(f"no metric named '{name}'")
+        return self._series[name]
+
+    def merge(self, other: "MetricRecorder", prefix: str = "") -> None:
+        """Copy all series from ``other`` into this recorder."""
+        for name in other.names():
+            target = self.series(prefix + name)
+            for time, value in other[name]:
+                target.append(time, value)
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-metric summary (count / last / mean / min / max)."""
+        out: Dict[str, Dict[str, float]] = {}
+        for name, series in self._series.items():
+            if len(series) == 0:
+                continue
+            values = np.asarray(series.values)
+            out[name] = {
+                "count": float(len(values)),
+                "last": float(values[-1]),
+                "mean": float(values.mean()),
+                "min": float(values.min()),
+                "max": float(values.max()),
+            }
+        return out

@@ -1,0 +1,112 @@
+"""Tabular results with aggregation and plain-text rendering.
+
+The benchmark harnesses reproduce the paper's tables and figure series by
+printing :class:`ResultTable` objects; keeping the rendering here means the
+same table can be produced from an example script, a benchmark, or the CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["ResultTable", "aggregate"]
+
+
+def _format_cell(value: Any, float_format: str) -> str:
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+@dataclass
+class ResultTable:
+    """A simple column-ordered table of results.
+
+    Attributes
+    ----------
+    title:
+        Table caption (e.g. ``"Table 1: clustering and stratification"``).
+    columns:
+        Ordered column names.
+    rows:
+        List of mappings from column name to value; missing cells render
+        as an empty string.
+    """
+
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        """Append a row given as keyword arguments."""
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise KeyError(f"unknown columns: {sorted(unknown)}")
+        self.rows.append(dict(values))
+
+    def column(self, name: str) -> List[Any]:
+        """Return one column as a list (missing cells become ``None``)."""
+        if name not in self.columns:
+            raise KeyError(f"unknown column '{name}'")
+        return [row.get(name) for row in self.rows]
+
+    def sort_by(self, name: str) -> None:
+        """Sort rows in place by the given column."""
+        self.rows.sort(key=lambda row: row.get(name))
+
+    def to_text(self, float_format: str = ".4g") -> str:
+        """Render the table as aligned plain text."""
+        header = list(self.columns)
+        body = [
+            [_format_cell(row.get(col, ""), float_format) for col in header]
+            for row in self.rows
+        ]
+        widths = [
+            max(len(header[i]), *(len(line[i]) for line in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [self.title, ""]
+        lines.append("  ".join(header[i].ljust(widths[i]) for i in range(len(header))))
+        lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+        for line in body:
+            lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(header))))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+    def to_records(self) -> List[Dict[str, Any]]:
+        """Return a deep-copied list of row dictionaries."""
+        return [dict(row) for row in self.rows]
+
+
+def aggregate(
+    values: Iterable[float],
+    statistics: Sequence[str] = ("mean", "std", "min", "max"),
+) -> Dict[str, float]:
+    """Aggregate a sequence of numbers into the requested statistics.
+
+    Supported statistics: ``mean``, ``std``, ``min``, ``max``, ``median``,
+    ``sum``, ``count``.
+    """
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ValueError("cannot aggregate an empty sequence")
+    available: Dict[str, Callable[[np.ndarray], float]] = {
+        "mean": lambda a: float(a.mean()),
+        "std": lambda a: float(a.std(ddof=0)),
+        "min": lambda a: float(a.min()),
+        "max": lambda a: float(a.max()),
+        "median": lambda a: float(np.median(a)),
+        "sum": lambda a: float(a.sum()),
+        "count": lambda a: float(a.size),
+    }
+    out: Dict[str, float] = {}
+    for stat in statistics:
+        if stat not in available:
+            raise KeyError(f"unknown statistic '{stat}'")
+        out[stat] = available[stat](array)
+    return out

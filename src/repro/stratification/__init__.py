@@ -1,0 +1,49 @@
+"""Clustering and stratification analysis (Section 4).
+
+* :mod:`repro.stratification.bvalues` -- slot-budget samplers (constant and
+  rounded normal).
+* :mod:`repro.stratification.clustering` -- fast stable matching on complete
+  acceptance graphs and cluster analysis.
+* :mod:`repro.stratification.mmo` -- Mean Max Offset, closed form and
+  empirical.
+* :mod:`repro.stratification.phase_transition` -- the sigma sweep of
+  Figure 6 and the Table 1 generator.
+"""
+
+from repro.stratification.bvalues import constant_slots, rounded_normal_slots, slot_statistics
+from repro.stratification.clustering import (
+    ClusterAnalysis,
+    analyze_complete_matching,
+    complete_graph_stable_matching,
+    constant_matching_cluster_size,
+)
+from repro.stratification.mmo import (
+    mmo_constant_matching,
+    mmo_constant_matching_limit,
+    mmo_from_edges,
+)
+from repro.stratification.phase_transition import (
+    SigmaSweepPoint,
+    estimate_transition_sigma,
+    sigma_sweep,
+    table1,
+    variable_matching_statistics,
+)
+
+__all__ = [
+    "constant_slots",
+    "rounded_normal_slots",
+    "slot_statistics",
+    "ClusterAnalysis",
+    "analyze_complete_matching",
+    "complete_graph_stable_matching",
+    "constant_matching_cluster_size",
+    "mmo_constant_matching",
+    "mmo_constant_matching_limit",
+    "mmo_from_edges",
+    "SigmaSweepPoint",
+    "estimate_transition_sigma",
+    "sigma_sweep",
+    "table1",
+    "variable_matching_statistics",
+]

@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.acceptance import AcceptanceGraph
+from repro.core.peer import PeerPopulation
+from repro.core.ranking import GlobalRanking
+from repro.sim.random_source import RandomSource
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic numpy generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def source() -> RandomSource:
+    """A deterministic random source."""
+    return RandomSource(12345)
+
+
+@pytest.fixture
+def small_population() -> PeerPopulation:
+    """Nine ranked peers with two slots each."""
+    return PeerPopulation.ranked(9, slots=2)
+
+
+@pytest.fixture
+def small_complete_acceptance(small_population: PeerPopulation) -> AcceptanceGraph:
+    """Complete acceptance graph over the nine-peer population."""
+    return AcceptanceGraph.complete(small_population)
+
+
+@pytest.fixture
+def medium_er_acceptance(source: RandomSource) -> AcceptanceGraph:
+    """Erdős–Rényi acceptance graph over 60 single-slot peers."""
+    population = PeerPopulation.ranked(60, slots=1)
+    return AcceptanceGraph.erdos_renyi(
+        population, expected_degree=8.0, rng=source.stream("graph")
+    )
+
+
+@pytest.fixture
+def ranking(small_population: PeerPopulation) -> GlobalRanking:
+    """Ranking of the nine-peer population."""
+    return GlobalRanking.from_population(small_population)

@@ -1,0 +1,280 @@
+"""Tests for the analytical models (Algorithms 2 and 3, exact enumeration,
+fluid limit, distribution utilities and Monte-Carlo validation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analytical.b_matching import independent_b_matching
+from repro.analytical.distributions import MateDistribution, shift_similarity
+from repro.analytical.exact_small import (
+    exact_choice_probabilities,
+    exact_match_probabilities,
+    figure7_exact_values,
+    figure7_independent_values,
+)
+from repro.analytical.fluid_limit import (
+    best_peer_scaled_distribution,
+    fluid_limit_cdf,
+    fluid_limit_comparison,
+    fluid_limit_density,
+)
+from repro.analytical.one_matching import independent_one_matching, match_probability_matrix
+from repro.analytical.validation import simulate_choice_distribution, validate_independent_model
+
+
+class TestOneMatchingModel:
+    def test_three_peer_closed_form(self):
+        p = 0.4
+        matrix = match_probability_matrix(3, p)
+        assert matrix[0, 1] == pytest.approx(p)
+        assert matrix[0, 2] == pytest.approx(p * (1 - p))
+        assert matrix[1, 2] == pytest.approx(p * (1 - p) * (1 - p * (1 - p)))
+
+    def test_matrix_is_symmetric_with_zero_diagonal(self):
+        matrix = match_probability_matrix(20, 0.2)
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 0.0)
+
+    def test_rows_are_subprobabilities(self):
+        model = independent_one_matching(200, 0.05)
+        for i in (1, 50, 150, 200):
+            mass = model.row(i).sum()
+            assert 0.0 <= mass <= 1.0 + 1e-9
+            assert model.unmatched[i] == pytest.approx(1.0 - mass, abs=1e-9)
+
+    def test_mass_tends_to_one_for_fixed_peer(self):
+        # Lemma 1: adding worse peers drives the matching probability to 1.
+        small = independent_one_matching(50, 0.1, rows=[10])
+        large = independent_one_matching(500, 0.1, rows=[10])
+        assert large.row(10).sum() > small.row(10).sum()
+        assert large.row(10).sum() > 0.999
+
+    def test_distribution_is_cut_not_changed_when_n_grows(self):
+        # Theorem 2: D(i, j) does not depend on peers worse than max(i, j).
+        small = independent_one_matching(100, 0.05, rows=[10])
+        large = independent_one_matching(300, 0.05, rows=[10])
+        assert np.allclose(small.row(10)[:100], large.row(10)[:100])
+
+    def test_best_peer_distribution_is_geometric(self):
+        p = 0.03
+        model = independent_one_matching(400, p, rows=[1])
+        row = model.row(1)
+        # D(1, j) = p (1-p)^(j-2) for j >= 2.
+        expected = np.array([p * (1 - p) ** (j - 2) for j in range(2, 401)])
+        assert np.allclose(row[1:], expected)
+
+    def test_worst_peer_matched_half_the_time(self):
+        # The paper: the worst peer is matched in exactly half of the cases
+        # (in the limit of enough peers above it).
+        model = independent_one_matching(2000, 0.01, rows=[2000])
+        assert model.row(2000).sum() == pytest.approx(0.5, abs=0.01)
+
+    def test_restricted_rows_match_full_computation(self):
+        full = independent_one_matching(120, 0.08)
+        partial = independent_one_matching(120, 0.08, rows=[7, 60, 115])
+        for i in (7, 60, 115):
+            assert np.allclose(full.row(i), partial.row(i))
+
+    def test_mean_partner_rank_increases_with_rank(self):
+        model = independent_one_matching(500, 0.02, rows=[50, 250, 450])
+        assert (
+            model.mean_partner_rank(50)
+            < model.mean_partner_rank(250)
+            < model.mean_partner_rank(450)
+        )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            independent_one_matching(0, 0.5)
+        with pytest.raises(ValueError):
+            independent_one_matching(10, 1.5)
+        with pytest.raises(ValueError):
+            independent_one_matching(10, 0.5, rows=[11])
+
+
+class TestBMatchingModel:
+    def test_reduces_to_one_matching_for_b0_1(self):
+        one = independent_one_matching(200, 0.04, rows=[100])
+        b = independent_b_matching(200, 0.04, 1, rows=[100])
+        assert np.allclose(one.row(100), b.row(1, 100), atol=1e-12)
+
+    def test_choice_masses_are_subprobabilities_and_ordered(self):
+        model = independent_b_matching(400, 0.05, 3, rows=[200])
+        masses = [model.row(c, 200).sum() for c in (1, 2, 3)]
+        for mass in masses:
+            assert 0.0 <= mass <= 1.0 + 1e-9
+        # Later choices are filled with (weakly) lower probability.
+        assert masses[0] >= masses[1] >= masses[2]
+
+    def test_first_choice_is_better_ranked_than_second(self):
+        model = independent_b_matching(400, 0.05, 2, rows=[200])
+        ranks = np.arange(1, 401)
+        first = model.row(1, 200)
+        second = model.row(2, 200)
+        mean_first = (first * ranks).sum() / first.sum()
+        mean_second = (second * ranks).sum() / second.sum()
+        assert mean_first < mean_second
+
+    def test_expected_mates_bounded_by_b0(self):
+        model = independent_b_matching(300, 0.05, 3)
+        for peer in (1, 150, 300):
+            assert model.expected_mates(peer) <= 3.0 + 1e-9
+
+    def test_total_row_combines_choices(self):
+        model = independent_b_matching(100, 0.1, 2, rows=[50])
+        total = model.total_row(50)
+        assert np.allclose(total, model.row(1, 50) + model.row(2, 50))
+
+    def test_matches_exact_enumeration_for_tiny_system(self):
+        # For n = 4, b0 = 2 the independence error is small but non-zero;
+        # the approximation must stay within a few percent of exact values.
+        p = 0.3
+        exact = exact_choice_probabilities(4, p, 2)
+        model = independent_b_matching(4, p, 2)
+        for choice in (1, 2):
+            for i in range(1, 5):
+                approx = model.row(choice, i)
+                for j in range(1, 5):
+                    assert approx[j - 1] == pytest.approx(
+                        exact[choice][i - 1, j - 1], abs=0.06
+                    )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            independent_b_matching(10, 0.5, 0)
+        with pytest.raises(ValueError):
+            independent_b_matching(10, -0.1, 2)
+
+
+class TestExactSmall:
+    def test_figure7_closed_forms(self):
+        p = 0.25
+        exact = figure7_exact_values(p)
+        independent = figure7_independent_values(p)
+        assert exact[(1, 2)] == independent[(1, 2)] == p
+        assert independent[(2, 3)] - exact[(2, 3)] == pytest.approx(p**3 * (1 - p))
+
+    def test_enumeration_matches_closed_form_n3(self):
+        p = 0.35
+        matrix = exact_match_probabilities(3, p)
+        closed = figure7_exact_values(p)
+        assert matrix[0, 1] == pytest.approx(closed[(1, 2)])
+        assert matrix[0, 2] == pytest.approx(closed[(1, 3)])
+        assert matrix[1, 2] == pytest.approx(closed[(2, 3)])
+
+    def test_enumeration_rows_are_subprobabilities(self):
+        matrix = exact_match_probabilities(5, 0.4)
+        sums = matrix.sum(axis=1)
+        assert np.all(sums <= 1.0 + 1e-9)
+
+    def test_enumeration_limit_enforced(self):
+        with pytest.raises(ValueError):
+            exact_match_probabilities(8, 0.5)
+
+    def test_b_matching_enumeration_choice_ordering(self):
+        result = exact_choice_probabilities(4, 0.5, 2)
+        # First choices concentrate on better ranks than second choices.
+        ranks = np.arange(1, 5)
+        first_mass = result[1].sum(axis=1)
+        second_mass = result[2].sum(axis=1)
+        assert np.all(first_mass + 1e-12 >= second_mass)
+
+
+class TestFluidLimit:
+    def test_density_integrates_to_one(self):
+        betas = np.linspace(0, 5, 20000)
+        density = fluid_limit_density(betas, d=10.0)
+        integral = np.trapezoid(density, betas)
+        assert integral == pytest.approx(1.0, abs=1e-3)
+
+    def test_cdf_values(self):
+        assert fluid_limit_cdf(0.0, 5.0) == 0.0
+        assert fluid_limit_cdf(10.0, 5.0) == pytest.approx(1.0)
+
+    def test_negative_beta_has_zero_density(self):
+        assert fluid_limit_density(-0.5, 3.0) == 0.0
+
+    def test_finite_n_converges_to_limit(self):
+        coarse = fluid_limit_comparison(500, 15.0)
+        fine = fluid_limit_comparison(4000, 15.0)
+        assert fine.l1_error < coarse.l1_error
+        assert fine.l1_error < 0.05
+
+    def test_scaled_distribution_shape(self):
+        scaled = best_peer_scaled_distribution(1000, 10.0)
+        assert scaled["beta"].shape == (1000,)
+        # The self-entry (j = 1) is zero; the density just after it is ~d.
+        assert scaled["scaled_density"][0] == 0.0
+        assert scaled["scaled_density"][1] == pytest.approx(10.0, rel=0.1)
+
+    def test_invalid_d_rejected(self):
+        with pytest.raises(ValueError):
+            fluid_limit_density(0.1, 0.0)
+
+
+class TestMateDistribution:
+    @pytest.fixture
+    def model(self):
+        return independent_one_matching(1000, 0.02, rows=[50, 400, 600, 950])
+
+    def test_central_peer_symmetric(self, model):
+        dist = MateDistribution(400, model.row(400))
+        assert abs(dist.asymmetry()) < 0.05
+        assert abs(dist.mean_offset()) < 20
+
+    def test_best_region_asymmetric(self, model):
+        dist = MateDistribution(50, model.row(50))
+        assert dist.asymmetry() > 0.2
+        assert dist.mean_offset() > 0
+
+    def test_worst_region_truncated(self, model):
+        dist = MateDistribution(950, model.row(950))
+        assert dist.unmatched_probability > 0.05
+        assert dist.mean_offset() < 0
+
+    def test_shift_similarity_of_central_peers(self, model):
+        a = MateDistribution(400, model.row(400))
+        b = MateDistribution(600, model.row(600))
+        # Stratification: central distributions are near-perfect shifts.
+        assert shift_similarity(a, b) > 0.95
+
+    def test_quantile_and_mode(self, model):
+        dist = MateDistribution(400, model.row(400))
+        assert abs(dist.mode_rank() - 400) < 30
+        q10 = dist.quantile_rank(0.1)
+        q90 = dist.quantile_rank(0.9)
+        assert q10 < dist.mode_rank() < q90
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            MateDistribution(1, np.array([[0.1]]))
+        with pytest.raises(ValueError):
+            MateDistribution(1, np.array([-0.2, 0.1]))
+
+
+class TestMonteCarloValidation:
+    def test_simulated_frequencies_sum_to_one(self):
+        result = simulate_choice_distribution(60, 0.2, 2, peer=30, samples=40, seed=1)
+        for choice in (1, 2):
+            total = result.frequency(choice).sum() + result.unmatched_frequency[choice]
+            assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_validation_report_close_to_model(self):
+        report = validate_independent_model(150, 0.1, 2, peer=90, samples=150, seed=2)
+        assert report.worst_total_variation < 0.25
+        assert report.worst_mean_rank_error < 0.15
+
+    def test_match_probabilities_agree(self):
+        report = validate_independent_model(150, 0.1, 2, peer=75, samples=150, seed=3)
+        for choice in (1, 2):
+            assert report.match_probability_model[choice] == pytest.approx(
+                report.match_probability_simulation[choice], abs=0.15
+            )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            simulate_choice_distribution(10, 0.5, 1, peer=11, samples=5)
+        with pytest.raises(ValueError):
+            simulate_choice_distribution(10, 0.5, 1, peer=5, samples=0)

@@ -1,0 +1,140 @@
+"""Tests for the disorder distance and the Mean Max Offset."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.acceptance import AcceptanceGraph
+from repro.core.matching import Matching
+from repro.core.metrics import (
+    collaboration_graph,
+    disorder,
+    match_rate,
+    matching_distance,
+    mean_max_offset,
+    mean_max_offset_exact_constant,
+    unmatched_peers,
+)
+from repro.core.peer import PeerPopulation
+from repro.core.ranking import GlobalRanking
+from repro.core.stable import stable_configuration
+
+
+def _one_matching_setup(n: int = 6):
+    population = PeerPopulation.ranked(n, slots=1)
+    acceptance = AcceptanceGraph.complete(population)
+    ranking = GlobalRanking.from_population(population)
+    return population, acceptance, ranking
+
+
+class TestMatchingDistance:
+    def test_distance_to_self_is_zero(self):
+        _, acceptance, ranking = _one_matching_setup()
+        matching = stable_configuration(acceptance, ranking)
+        assert matching_distance(matching, matching, ranking) == 0.0
+
+    def test_complete_vs_empty_is_one(self):
+        # The paper's normalisation: a perfect 1-matching is at distance 1
+        # from the empty configuration.
+        _, acceptance, ranking = _one_matching_setup(6)
+        empty = Matching(acceptance)
+        full = Matching(acceptance)
+        full.match(1, 2)
+        full.match(3, 4)
+        full.match(5, 6)
+        assert matching_distance(full, empty, ranking) == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        _, acceptance, ranking = _one_matching_setup(6)
+        a = Matching(acceptance)
+        a.match(1, 2)
+        b = Matching(acceptance)
+        b.match(1, 6)
+        assert matching_distance(a, b, ranking) == pytest.approx(
+            matching_distance(b, a, ranking)
+        )
+
+    def test_triangle_like_monotonicity(self):
+        # A configuration sharing more pairs with the stable one is closer.
+        _, acceptance, ranking = _one_matching_setup(6)
+        stable = stable_configuration(acceptance, ranking)
+        close = stable.copy()
+        close.unmatch(5, 6)
+        far = Matching(acceptance)
+        assert disorder(close, stable, ranking) < disorder(far, stable, ranking)
+
+    def test_disagreeing_mates_counted_per_peer(self):
+        _, acceptance, ranking = _one_matching_setup(4)
+        a = Matching(acceptance)
+        a.match(1, 2)
+        a.match(3, 4)
+        b = Matching(acceptance)
+        b.match(1, 3)
+        b.match(2, 4)
+        # Peer 1: |2-3| = 1, peer 2: |1-4| = 3, peer 3: |4-1| = 3, peer 4: |3-2| = 1.
+        expected = (1 + 3 + 3 + 1) * 2 / (4 * 5)
+        assert matching_distance(a, b, ranking) == pytest.approx(expected)
+
+    def test_empty_population_distance_zero(self):
+        population = PeerPopulation.ranked(3, slots=1)
+        acceptance = AcceptanceGraph.complete(population)
+        ranking = GlobalRanking.from_population(population)
+        other_population = PeerPopulation.ranked(3, slots=1, first_id=10)
+        other_acceptance = AcceptanceGraph.complete(other_population)
+        a = Matching(acceptance)
+        b = Matching(other_acceptance)
+        assert matching_distance(a, b, ranking) == 0.0
+
+
+class TestMeanMaxOffset:
+    def test_closed_form_small_values(self):
+        # Paper Table 1, constant matching: 1.67, 2.5, 3.2, 4, 4.71, 5.5.
+        expected = {2: 5 / 3, 3: 2.5, 4: 3.2, 5: 4.0, 6: 33 / 7, 7: 5.5}
+        for b0, value in expected.items():
+            assert mean_max_offset_exact_constant(b0) == pytest.approx(value, abs=0.01)
+
+    def test_closed_form_limit(self):
+        # MMO(b0) -> 3/4 b0 as b0 grows.
+        assert mean_max_offset_exact_constant(400) / 400 == pytest.approx(0.75, abs=0.01)
+
+    def test_closed_form_edge_cases(self):
+        assert mean_max_offset_exact_constant(0) == 0.0
+        assert mean_max_offset_exact_constant(1) == 1.0
+        with pytest.raises(ValueError):
+            mean_max_offset_exact_constant(-1)
+
+    def test_empirical_matches_closed_form_on_complete_graph(self):
+        population = PeerPopulation.ranked(12, slots=3)
+        acceptance = AcceptanceGraph.complete(population)
+        ranking = GlobalRanking.from_population(population)
+        stable = stable_configuration(acceptance, ranking)
+        assert mean_max_offset(stable, ranking) == pytest.approx(
+            mean_max_offset_exact_constant(3)
+        )
+
+    def test_skip_unmatched_flag(self):
+        population = PeerPopulation.ranked(3, slots=1)
+        acceptance = AcceptanceGraph.complete(population)
+        ranking = GlobalRanking.from_population(population)
+        matching = Matching(acceptance)
+        matching.match(1, 2)
+        assert mean_max_offset(matching, ranking, skip_unmatched=True) == 1.0
+        assert mean_max_offset(matching, ranking, skip_unmatched=False) == pytest.approx(2 / 3)
+
+
+class TestAuxiliaryMetrics:
+    def test_unmatched_peers_and_match_rate(self):
+        population = PeerPopulation.ranked(5, slots=1)
+        acceptance = AcceptanceGraph.complete(population)
+        matching = stable_configuration(acceptance)
+        assert unmatched_peers(matching) == [5]
+        assert match_rate(matching) == pytest.approx(4 / 5)
+
+    def test_collaboration_graph(self):
+        population = PeerPopulation.ranked(4, slots=1)
+        acceptance = AcceptanceGraph.complete(population)
+        matching = stable_configuration(acceptance)
+        graph = collaboration_graph(matching)
+        assert graph.has_edge(1, 2)
+        assert graph.has_edge(3, 4)
+        assert graph.edge_count == 2

@@ -1,0 +1,149 @@
+"""Tests for peers, populations, rankings and utility functions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import ModelError, UnknownPeerError
+from repro.core.peer import Peer, PeerPopulation
+from repro.core.ranking import GlobalRanking, RankingUtility, TitForTatUtility
+
+
+class TestPeer:
+    def test_negative_slots_rejected(self):
+        with pytest.raises(ModelError):
+            Peer(1, 1.0, -1)
+
+    def test_with_slots_and_score(self):
+        peer = Peer(1, 1.0, 2)
+        assert peer.with_slots(5).slots == 5
+        assert peer.with_score(9.0).score == 9.0
+        # Originals are unchanged (immutability).
+        assert peer.slots == 2 and peer.score == 1.0
+
+
+class TestPeerPopulation:
+    def test_ranked_population_orders_scores(self):
+        population = PeerPopulation.ranked(5)
+        assert population.get(1).score > population.get(5).score
+        assert len(population) == 5
+
+    def test_ranked_with_per_peer_slots(self):
+        population = PeerPopulation.ranked(3, slots=[1, 2, 3])
+        assert population.get(3).slots == 3
+        with pytest.raises(ModelError):
+            PeerPopulation.ranked(3, slots=[1, 2])
+
+    def test_from_scores(self):
+        population = PeerPopulation.from_scores([0.5, 2.0, 1.0])
+        assert population.get(2).score == 2.0
+
+    def test_duplicate_id_rejected(self):
+        population = PeerPopulation()
+        population.add(Peer(1, 1.0, 1))
+        with pytest.raises(ModelError):
+            population.add(Peer(1, 2.0, 1))
+
+    def test_remove_and_unknown(self):
+        population = PeerPopulation.ranked(3)
+        removed = population.remove(2)
+        assert removed.peer_id == 2
+        assert 2 not in population
+        with pytest.raises(UnknownPeerError):
+            population.get(2)
+        with pytest.raises(UnknownPeerError):
+            population.remove(2)
+
+    def test_replace(self):
+        population = PeerPopulation.ranked(3)
+        population.replace(Peer(2, 100.0, 7))
+        assert population.get(2).slots == 7
+        with pytest.raises(UnknownPeerError):
+            population.replace(Peer(99, 1.0, 1))
+
+    def test_total_slots_and_next_id(self):
+        population = PeerPopulation.ranked(4, slots=2)
+        assert population.total_slots() == 8
+        assert population.next_id() == 5
+
+    def test_copy_is_independent(self):
+        population = PeerPopulation.ranked(3)
+        clone = population.copy()
+        clone.remove(1)
+        assert 1 in population
+
+
+class TestGlobalRanking:
+    def test_rank_follows_scores(self):
+        ranking = GlobalRanking({1: 0.1, 2: 5.0, 3: 2.0})
+        assert ranking.rank(2) == 1
+        assert ranking.rank(3) == 2
+        assert ranking.rank(1) == 3
+
+    def test_identity_ranking(self):
+        ranking = GlobalRanking.identity([10, 20, 30])
+        assert ranking.rank(10) == 1
+        assert ranking.rank(30) == 3
+
+    def test_ties_broken_by_id(self):
+        ranking = GlobalRanking({5: 1.0, 3: 1.0})
+        assert ranking.rank(3) == 1
+        assert ranking.rank(5) == 2
+
+    def test_prefers_best_and_worst(self):
+        ranking = GlobalRanking.identity([1, 2, 3, 4])
+        assert ranking.prefers(4, candidate=1, incumbent=2)
+        assert not ranking.prefers(4, candidate=3, incumbent=2)
+        assert ranking.best_of([3, 2, 4]) == 2
+        assert ranking.worst_of([3, 2, 4]) == 4
+        assert ranking.better_of(3, 2) == 2
+
+    def test_sorted_by_rank_and_offset(self):
+        ranking = GlobalRanking.identity([1, 2, 3, 4, 5])
+        assert ranking.sorted_by_rank([4, 1, 3]) == [1, 3, 4]
+        assert ranking.offset(1, 4) == 3
+
+    def test_unknown_peer_raises(self):
+        ranking = GlobalRanking.identity([1, 2])
+        with pytest.raises(UnknownPeerError):
+            ranking.rank(5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            GlobalRanking({})
+
+    def test_from_population(self):
+        ranking = GlobalRanking.from_population(PeerPopulation.ranked(4))
+        assert ranking.ids() == [1, 2, 3, 4]
+
+
+class TestUtilityFunctions:
+    def test_ranking_utility_matches_scores(self):
+        ranking = GlobalRanking({1: 3.0, 2: 2.0, 3: 1.0})
+        utility = RankingUtility(ranking)
+        assert utility.value(3, 1) == 3.0
+        assert utility.prefers(3, candidate=1, incumbent=2)
+        assert utility.preference_list(3, [2, 1]) == [1, 2]
+        assert utility.induces_global_ranking()
+
+    def test_tft_utility_records_and_ranks(self):
+        utility = TitForTatUtility({})
+        utility.record(1, 2, 100.0)
+        utility.record(1, 3, 10.0)
+        assert utility.value(1, 2) == 100.0
+        assert utility.prefers(1, candidate=2, incumbent=3)
+        utility.reset()
+        assert utility.value(1, 2) == 0.0
+
+    def test_tft_negative_volume_rejected(self):
+        with pytest.raises(ModelError):
+            TitForTatUtility({}).record(1, 2, -1.0)
+
+    def test_tft_reduction_to_global_ranking(self):
+        # upload-per-slot: peer 1 -> 100, peer 2 -> 200, peer 3 -> 50
+        ranking = TitForTatUtility.from_upload_per_slot(
+            uploads={1: 400, 2: 400, 3: 100}, slots={1: 4, 2: 2, 3: 2}
+        )
+        assert ranking.rank(2) == 1
+        assert ranking.rank(1) == 2
+        assert ranking.rank(3) == 3

@@ -1,0 +1,107 @@
+"""Tests for the figure drivers and the command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import experiments
+from repro.cli import build_parser, main
+from repro.sim.results import ResultTable
+
+
+class TestFigureDrivers:
+    def test_figure1_series_structure(self):
+        series = experiments.figure1_convergence(((60, 10),), max_base_units=30)
+        data = series["n=60,d=10"]
+        assert data["disorder"][0] > data["disorder"][-1]
+        assert not np.isnan(data["time_to_converge"][0])
+
+    def test_figure2_small_disorder_after_removal(self):
+        series = experiments.figure2_peer_removal((1, 50), n=150, max_base_units=8)
+        for data in series.values():
+            assert float(data["max_disorder"][0]) < 0.1
+
+    def test_figure3_churn_ordering(self):
+        series = experiments.figure3_churn((0.0, 0.05), n=150, max_base_units=12)
+        assert series["no churn"]["tail_disorder"][0] < series["churn=50/1000"]["tail_disorder"][0]
+
+    def test_figure4_figure5_table(self):
+        table = experiments.figure4_figure5_clusters(b0=2, n=9)
+        records = table.to_records()
+        assert records[0]["connected"] is False
+        assert records[1]["connected"] is True
+
+    def test_figure6_phase_transition_table(self):
+        table = experiments.figure6_phase_transition(
+            sigmas=[0.0, 0.3], n=3000, repetitions=1
+        )
+        rows = table.to_records()
+        assert rows[1]["mean_cluster_size"] > 3 * rows[0]["mean_cluster_size"]
+
+    def test_table1_columns(self):
+        table = experiments.table1_clustering((2, 3), n=4000, repetitions=1)
+        assert table.column("constant_cluster_size") == [3.0, 4.0]
+
+    def test_figure7_error_grows_with_p(self):
+        table = experiments.figure7_approximation_error((0.1, 0.8))
+        rows = [r for r in table.to_records() if r["pair"] == "2-3"]
+        assert rows[1]["error"] > rows[0]["error"]
+
+    def test_figure8_three_regimes(self):
+        stats = experiments.figure8_neighbor_distributions(n=1500, p=1.0 / 60)
+        peers = sorted(stats)
+        good, central, bad = peers
+        assert stats[good]["asymmetry"] > 0.1
+        assert abs(stats[central]["mean_offset"]) < 30
+        assert stats[bad]["unmatched_probability"] > 0.02
+
+    def test_figure9_validation_table(self):
+        table = experiments.figure9_validation(n=300, p=0.08, samples=50)
+        rows = table.to_records()
+        assert {row["choice"] for row in rows} == {1, 2}
+        assert all(row["total_variation"] < 0.35 for row in rows)
+
+    def test_figure10_table(self):
+        table = experiments.figure10_bandwidth_cdf(points=10)
+        percentages = table.column("percentage_of_hosts")
+        assert percentages == sorted(percentages)
+
+    def test_figure11_observations(self):
+        result = experiments.figure11_efficiency(n=300)
+        obs = result["observations"]
+        assert obs["best_peer_efficiency"] < 1.0
+        assert obs["max_efficiency"] > 1.0
+
+    def test_swarm_experiment_metrics(self):
+        metrics = experiments.swarm_stratification_experiment(
+            leechers=25, rounds=60, piece_count=400, seed=4
+        )
+        assert metrics["completed"] <= 25
+        assert -1.0 <= metrics["stratification_index"] <= 1.0
+
+
+class TestCLI:
+    def test_parser_lists_experiments(self):
+        parser = build_parser()
+        args = parser.parse_args(["list"])
+        assert args.experiment == "list"
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure1" in out and "figure11" in out
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["figure7"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+
+    def test_run_table_experiment(self, capsys):
+        assert main(["figure4-5"]) == 0
+        out = capsys.readouterr().out
+        assert "Figures 4-5" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure99"])

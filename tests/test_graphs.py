@@ -1,0 +1,220 @@
+"""Tests for the graph substrate (base structure, generators, statistics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.base import UndirectedGraph
+from repro.graphs.complete import complete_graph
+from repro.graphs.components import (
+    cluster_sizes,
+    component_of,
+    connected_components,
+    is_connected,
+    largest_component_size,
+    mean_cluster_size,
+)
+from repro.graphs.erdos_renyi import (
+    erdos_renyi_expected_degree,
+    erdos_renyi_graph,
+    expected_degree_to_probability,
+)
+from repro.graphs.generators import configuration_model_graph, random_regular_graph, ring_lattice
+from repro.graphs.properties import (
+    average_shortest_path_length,
+    clustering_coefficient,
+    degree_histogram,
+    graph_diameter,
+    mean_degree,
+    shortest_path_lengths,
+)
+
+
+class TestUndirectedGraph:
+    def test_add_edge_creates_vertices(self):
+        graph = UndirectedGraph()
+        graph.add_edge(1, 2)
+        assert graph.has_vertex(1) and graph.has_vertex(2)
+        assert graph.has_edge(2, 1)
+
+    def test_no_self_loops(self):
+        with pytest.raises(ValueError):
+            UndirectedGraph().add_edge(1, 1)
+
+    def test_remove_vertex_removes_incident_edges(self):
+        graph = UndirectedGraph()
+        graph.add_edge(1, 2)
+        graph.add_edge(1, 3)
+        graph.remove_vertex(1)
+        assert not graph.has_vertex(1)
+        assert graph.degree(2) == 0 and graph.degree(3) == 0
+
+    def test_remove_missing_edge_raises(self):
+        graph = UndirectedGraph([1, 2])
+        with pytest.raises(KeyError):
+            graph.remove_edge(1, 2)
+
+    def test_edge_count_and_iteration(self):
+        graph = UndirectedGraph()
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 3)
+        assert graph.edge_count == 2
+        assert list(graph.edges()) == [(1, 2), (2, 3)]
+
+    def test_copy_is_independent(self):
+        graph = UndirectedGraph()
+        graph.add_edge(1, 2)
+        clone = graph.copy()
+        clone.add_edge(2, 3)
+        assert not graph.has_edge(2, 3)
+
+    def test_subgraph(self):
+        graph = complete_graph(5)
+        sub = graph.subgraph([1, 2, 3])
+        assert sub.vertex_count == 3
+        assert sub.edge_count == 3
+
+    def test_equality(self):
+        a = UndirectedGraph([1, 2])
+        b = UndirectedGraph([1, 2])
+        assert a == b
+        a.add_edge(1, 2)
+        assert a != b
+
+    def test_to_networkx_roundtrip(self):
+        graph = complete_graph(4)
+        nx_graph = graph.to_networkx()
+        assert nx_graph.number_of_nodes() == 4
+        assert nx_graph.number_of_edges() == 6
+
+
+class TestErdosRenyi:
+    def test_probability_conversion(self):
+        assert expected_degree_to_probability(101, 10) == pytest.approx(0.1)
+        with pytest.raises(ValueError):
+            expected_degree_to_probability(10, 100)
+
+    def test_p_zero_and_one(self, rng):
+        empty = erdos_renyi_graph(10, 0.0, rng)
+        assert empty.edge_count == 0
+        full = erdos_renyi_graph(10, 1.0, rng)
+        assert full.edge_count == 45
+
+    def test_vertex_labels_start_at_one(self, rng):
+        graph = erdos_renyi_graph(5, 0.5, rng)
+        assert graph.vertices() == [1, 2, 3, 4, 5]
+
+    def test_expected_degree_is_respected(self, rng):
+        n, d = 400, 12.0
+        graph = erdos_renyi_expected_degree(n, d, rng)
+        assert mean_degree(graph) == pytest.approx(d, rel=0.2)
+
+    def test_edge_probability_is_respected(self, rng):
+        n, p = 300, 0.05
+        graph = erdos_renyi_graph(n, p, rng)
+        expected_edges = p * n * (n - 1) / 2
+        assert graph.edge_count == pytest.approx(expected_edges, rel=0.2)
+
+    def test_reproducible_with_same_rng_seed(self):
+        a = erdos_renyi_graph(50, 0.1, np.random.default_rng(3))
+        b = erdos_renyi_graph(50, 0.1, np.random.default_rng(3))
+        assert a == b
+
+    def test_no_self_loops_generated(self, rng):
+        graph = erdos_renyi_graph(100, 0.2, rng)
+        for u, v in graph.edges():
+            assert u != v
+
+
+class TestOtherGenerators:
+    def test_complete_graph(self):
+        graph = complete_graph(6)
+        assert graph.edge_count == 15
+        assert all(graph.degree(v) == 5 for v in graph.vertices())
+
+    def test_ring_lattice(self):
+        graph = ring_lattice(10, 4)
+        assert all(graph.degree(v) == 4 for v in graph.vertices())
+        assert is_connected(graph)
+
+    def test_ring_lattice_validation(self):
+        with pytest.raises(ValueError):
+            ring_lattice(10, 3)
+        with pytest.raises(ValueError):
+            ring_lattice(4, 6)
+
+    def test_random_regular(self, rng):
+        graph = random_regular_graph(20, 3, rng)
+        assert all(graph.degree(v) == 3 for v in graph.vertices())
+
+    def test_random_regular_validation(self, rng):
+        with pytest.raises(ValueError):
+            random_regular_graph(5, 3, rng)  # odd n * degree
+
+    def test_configuration_model(self, rng):
+        degrees = [2, 2, 2, 2, 1, 1]
+        graph = configuration_model_graph(degrees, rng)
+        observed = [graph.degree(v) for v in graph.vertices()]
+        assert sorted(observed) == sorted(degrees)
+
+    def test_configuration_model_rejects_odd_sum(self, rng):
+        with pytest.raises(ValueError):
+            configuration_model_graph([1, 1, 1], rng)
+
+
+class TestComponents:
+    def test_components_of_disconnected_graph(self):
+        graph = UndirectedGraph(range(1, 7))
+        graph.add_edge(1, 2)
+        graph.add_edge(3, 4)
+        components = connected_components(graph)
+        assert [len(c) for c in components] == [2, 2, 1, 1]
+        assert cluster_sizes(graph) == [2, 2, 1, 1]
+        assert largest_component_size(graph) == 2
+        assert not is_connected(graph)
+
+    def test_component_of(self):
+        graph = UndirectedGraph()
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 3)
+        graph.add_vertex(9)
+        assert component_of(graph, 1) == [1, 2, 3]
+        assert component_of(graph, 9) == [9]
+
+    def test_mean_cluster_size(self):
+        graph = UndirectedGraph(range(4))
+        graph.add_edge(0, 1)
+        assert mean_cluster_size(graph) == pytest.approx(4 / 3)
+        assert mean_cluster_size(graph, ignore_isolated=True) == 2.0
+
+    def test_complete_graph_is_connected(self):
+        assert is_connected(complete_graph(5))
+
+
+class TestProperties:
+    def test_mean_degree(self):
+        assert mean_degree(complete_graph(5)) == 4.0
+        assert mean_degree(UndirectedGraph()) == 0.0
+
+    def test_degree_histogram(self):
+        graph = UndirectedGraph()
+        graph.add_edge(1, 2)
+        graph.add_vertex(3)
+        assert degree_histogram(graph) == {0: 1, 1: 2}
+
+    def test_clustering_coefficient_complete(self):
+        assert clustering_coefficient(complete_graph(5)) == pytest.approx(1.0)
+
+    def test_clustering_coefficient_tree(self):
+        graph = UndirectedGraph()
+        graph.add_edge(1, 2)
+        graph.add_edge(1, 3)
+        assert clustering_coefficient(graph, 1) == 0.0
+
+    def test_shortest_paths_and_diameter(self):
+        graph = ring_lattice(6, 2)
+        distances = shortest_path_lengths(graph, 1)
+        assert distances[4] == 3
+        assert graph_diameter(graph) == 3
+        assert average_shortest_path_length(graph) > 1.0

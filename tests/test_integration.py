@@ -1,0 +1,108 @@
+"""Cross-module integration tests: theory vs simulation consistency.
+
+These tests tie the layers together the way the paper does: the analytic
+models (Section 5) must agree with explicit stable matchings computed by
+Algorithm 1 on sampled graphs (Section 3), and the BitTorrent reduction
+(Section 6) must be consistent with the matching model's stratification.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analytical.one_matching import independent_one_matching
+from repro.core.acceptance import AcceptanceGraph
+from repro.core.dynamics import ConvergenceSimulator
+from repro.core.matching import is_stable
+from repro.core.metrics import mean_max_offset
+from repro.core.peer import PeerPopulation
+from repro.core.ranking import GlobalRanking, TitForTatUtility
+from repro.core.stable import stable_configuration
+from repro.sim.random_source import RandomSource
+from repro.stratification.clustering import analyze_complete_matching
+from repro.stratification.bvalues import rounded_normal_slots
+
+
+class TestTheoryVsSimulation:
+    def test_algorithm2_predicts_monte_carlo_match_rates(self):
+        """The analytic matching probability agrees with sampled stable matchings."""
+        n, p, samples = 120, 0.06, 120
+        model = independent_one_matching(n, p)
+        source = RandomSource(17)
+        matched_counts = np.zeros(n)
+        for index in range(samples):
+            population = PeerPopulation.ranked(n, slots=1)
+            acceptance = AcceptanceGraph.erdos_renyi(
+                population, probability=p, rng=source.fresh_stream(f"g{index}")
+            )
+            matching = stable_configuration(acceptance)
+            for peer_id in matching.peer_ids():
+                if matching.degree(peer_id) > 0:
+                    matched_counts[peer_id - 1] += 1
+        empirical = matched_counts / samples
+        analytic = np.array([model.match_probability(i) for i in range(1, n + 1)])
+        # Average absolute gap across all peers stays small.
+        assert float(np.mean(np.abs(empirical - analytic))) < 0.08
+
+    def test_dynamics_reach_algorithm1_fixed_point(self):
+        """The decentralised initiative process ends exactly at Algorithm 1's output."""
+        source = RandomSource(23)
+        population = PeerPopulation.ranked(80, slots=2)
+        acceptance = AcceptanceGraph.erdos_renyi(
+            population, expected_degree=12, rng=source.stream("graph")
+        )
+        simulator = ConvergenceSimulator(acceptance, strategy="random", source=source)
+        result = simulator.run(max_base_units=400, samples_per_base_unit=2)
+        assert result.converged
+        assert result.final_matching == simulator.stable
+        assert is_stable(result.final_matching, simulator.ranking)
+
+    def test_stratification_offsets_scale_with_degree_not_size(self):
+        """Stratification is scalable: the mate offset depends on d, not on n."""
+        d = 20.0
+        small = independent_one_matching(800, d / 800, rows=[400])
+        large = independent_one_matching(2400, d / 2400, rows=[1200])
+        ranks_small = np.arange(1, 801)
+        ranks_large = np.arange(1, 2401)
+        spread_small = np.sqrt(
+            ((ranks_small - 400) ** 2 * small.row(400)).sum() / small.row(400).sum()
+        ) / 800
+        spread_large = np.sqrt(
+            ((ranks_large - 1200) ** 2 * large.row(1200)).sum() / large.row(1200).sum()
+        ) / 2400
+        # The *scaled* spread (fraction of the ranking) is the same for both
+        # system sizes: the offsets scale linearly with n at fixed d.
+        assert spread_small == pytest.approx(spread_large, rel=0.15)
+
+    def test_tft_reduction_matches_bandwidth_ranking(self):
+        """Section 6: TFT with even upload split reduces to the global ranking."""
+        uploads = {1: 2000.0, 2: 900.0, 3: 450.0, 4: 100.0}
+        slots = {1: 4, 2: 3, 3: 3, 4: 3}
+        ranking = TitForTatUtility.from_upload_per_slot(uploads, slots)
+        per_slot = {pid: uploads[pid] / slots[pid] for pid in uploads}
+        expected_order = sorted(per_slot, key=lambda pid: -per_slot[pid])
+        assert ranking.sorted_by_rank() == expected_order
+
+    def test_variable_b_reduces_stratification_but_connects_graph(self):
+        """Section 4.2's trade-off: bigger clusters, smaller MMO."""
+        rng = np.random.default_rng(3)
+        constant = analyze_complete_matching([6] * 4000)
+        variable = analyze_complete_matching(rounded_normal_slots(4000, 6.0, 0.3, rng))
+        assert variable.mean_cluster_size > 5 * constant.mean_cluster_size
+        assert variable.mean_max_offset < constant.mean_max_offset
+
+    def test_mmo_of_er_stable_matching_scales_with_degree(self):
+        """On sparse random graphs the collaboration offsets grow with n/d."""
+        source = RandomSource(29)
+        mmos = {}
+        for n in (200, 400):
+            population = PeerPopulation.ranked(n, slots=1)
+            acceptance = AcceptanceGraph.erdos_renyi(
+                population, expected_degree=10, rng=source.stream(f"g{n}")
+            )
+            ranking = GlobalRanking.from_population(population)
+            matching = stable_configuration(acceptance, ranking)
+            mmos[n] = mean_max_offset(matching, ranking)
+        # Offsets roughly double when n doubles at fixed d (scaling property).
+        assert mmos[400] > 1.4 * mmos[200]

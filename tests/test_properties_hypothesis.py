@@ -1,0 +1,181 @@
+"""Property-based tests (hypothesis) for the core invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analytical.one_matching import independent_one_matching
+from repro.core.acceptance import AcceptanceGraph
+from repro.core.matching import Matching, blocking_pairs, is_stable
+from repro.core.metrics import matching_distance, mean_max_offset_exact_constant
+from repro.core.peer import PeerPopulation
+from repro.core.ranking import GlobalRanking
+from repro.core.stable import stable_configuration
+from repro.graphs.erdos_renyi import erdos_renyi_graph
+from repro.stratification.clustering import analyze_complete_matching, complete_graph_stable_matching
+
+# Keep the generated systems small so each example solves in milliseconds.
+_settings = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def _acceptance_from_seed(n: int, p: float, slots, seed: int) -> AcceptanceGraph:
+    population = PeerPopulation.ranked(n, slots=slots)
+    rng = np.random.default_rng(seed)
+    return AcceptanceGraph.erdos_renyi(population, probability=p, rng=rng)
+
+
+class TestStableMatchingProperties:
+    @_settings
+    @given(
+        n=st.integers(min_value=2, max_value=25),
+        p=st.floats(min_value=0.0, max_value=1.0),
+        b0=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_algorithm1_output_is_stable_and_feasible(self, n, p, b0, seed):
+        acceptance = _acceptance_from_seed(n, p, b0, seed)
+        ranking = GlobalRanking.from_population(acceptance.population)
+        matching = stable_configuration(acceptance, ranking)
+        # Feasibility: capacities and acceptance respected.
+        for peer_id in matching.peer_ids():
+            assert matching.degree(peer_id) <= b0
+            for mate in matching.mates(peer_id):
+                assert acceptance.accepts(peer_id, mate)
+        # Stability: no blocking pair exists.
+        assert is_stable(matching, ranking)
+
+    @_settings
+    @given(
+        n=st.integers(min_value=2, max_value=20),
+        p=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_stable_matching_is_maximal_for_one_matching(self, n, p, seed):
+        # In a stable 1-matching, two unmatched peers can never be adjacent
+        # in the acceptance graph (they would form a blocking pair).
+        acceptance = _acceptance_from_seed(n, p, 1, seed)
+        ranking = GlobalRanking.from_population(acceptance.population)
+        matching = stable_configuration(acceptance, ranking)
+        unmatched = [pid for pid in matching.peer_ids() if matching.degree(pid) == 0]
+        for i, u in enumerate(unmatched):
+            for v in unmatched[i + 1:]:
+                assert not acceptance.accepts(u, v)
+
+    @_settings
+    @given(
+        n=st.integers(min_value=3, max_value=18),
+        b0=st.integers(min_value=1, max_value=3),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_active_initiatives_preserve_feasibility(self, n, b0, seed):
+        acceptance = _acceptance_from_seed(n, 0.5, b0, seed)
+        ranking = GlobalRanking.from_population(acceptance.population)
+        matching = Matching(acceptance)
+        rng = np.random.default_rng(seed)
+        from repro.core.initiatives import RandomInitiative
+
+        strategy = RandomInitiative()
+        peer_ids = acceptance.peer_ids()
+        for _ in range(5 * n):
+            peer = peer_ids[int(rng.integers(len(peer_ids)))]
+            strategy.take_initiative(matching, ranking, peer, rng)
+            for pid in matching.peer_ids():
+                assert matching.degree(pid) <= b0
+
+
+class TestDistanceProperties:
+    @_settings
+    @given(
+        n=st.integers(min_value=2, max_value=15),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_distance_is_a_pseudometric(self, n, seed):
+        acceptance = _acceptance_from_seed(n, 0.6, 1, seed)
+        ranking = GlobalRanking.from_population(acceptance.population)
+        rng = np.random.default_rng(seed)
+
+        def random_matching() -> Matching:
+            matching = Matching(acceptance)
+            pairs = list(acceptance.graph.edges())
+            rng.shuffle(pairs)
+            for u, v in pairs:
+                if matching.free_slots(u) > 0 and matching.free_slots(v) > 0:
+                    if rng.random() < 0.5:
+                        matching.match(u, v)
+            return matching
+
+        a, b, c = random_matching(), random_matching(), random_matching()
+        dab = matching_distance(a, b, ranking)
+        dba = matching_distance(b, a, ranking)
+        assert dab == pytest.approx(dba)
+        assert matching_distance(a, a, ranking) == 0.0
+        assert dab >= 0.0
+        # Triangle inequality.
+        assert dab <= matching_distance(a, c, ranking) + matching_distance(c, b, ranking) + 1e-9
+
+
+class TestAnalyticalProperties:
+    @_settings
+    @given(
+        n=st.integers(min_value=2, max_value=60),
+        p=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_one_matching_rows_are_subprobabilities(self, n, p):
+        model = independent_one_matching(n, p)
+        for i in (1, n // 2 + 1, n):
+            row = model.row(i)
+            assert np.all(row >= -1e-12)
+            assert row.sum() <= 1.0 + 1e-9
+            assert row[i - 1] == 0.0
+
+    @_settings
+    @given(
+        n=st.integers(min_value=2, max_value=40),
+        p=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_one_matching_matrix_symmetry(self, n, p):
+        model = independent_one_matching(n, p)
+        for i in (1, n):
+            for j in (1, n // 2 + 1, n):
+                assert model.probability(i, j) == pytest.approx(model.probability(j, i))
+
+
+class TestStratificationProperties:
+    @_settings
+    @given(
+        slots=st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=60)
+    )
+    def test_complete_graph_matching_feasible_for_any_slots(self, slots):
+        edges = complete_graph_stable_matching(slots)
+        degrees = [0] * len(slots)
+        seen = set()
+        for a, b in edges:
+            assert 1 <= a < b <= len(slots)
+            assert (a, b) not in seen
+            seen.add((a, b))
+            degrees[a - 1] += 1
+            degrees[b - 1] += 1
+        assert all(deg <= cap for deg, cap in zip(degrees, slots))
+
+    @_settings
+    @given(
+        n=st.integers(min_value=1, max_value=40),
+        b0=st.integers(min_value=1, max_value=6),
+    )
+    def test_constant_matching_cluster_structure(self, n, b0):
+        analysis = analyze_complete_matching([b0] * n)
+        # Every complete cluster has size b0 + 1; only the remainder differs.
+        full_clusters = [size for size in analysis.cluster_sizes if size == b0 + 1]
+        assert len(full_clusters) >= n // (b0 + 1) - 1
+        assert analysis.mean_max_offset <= mean_max_offset_exact_constant(b0) + 1e-9
+
+    @_settings
+    @given(b0=st.integers(min_value=1, max_value=200))
+    def test_mmo_closed_form_bounds(self, b0):
+        value = mean_max_offset_exact_constant(b0)
+        assert 0.75 * b0 <= value <= b0

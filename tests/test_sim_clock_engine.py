@@ -1,0 +1,169 @@
+"""Tests for the simulation clock and the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.clock import ClockError, SimulationClock
+from repro.sim.engine import EngineError, Event, EventQueue, Process, SimulationEngine
+
+
+class TestSimulationClock:
+    def test_starts_at_zero(self):
+        assert SimulationClock().now == 0.0
+
+    def test_advance_to(self):
+        clock = SimulationClock()
+        clock.advance_to(3.5)
+        assert clock.now == 3.5
+        assert clock.steps == 1
+
+    def test_cannot_go_backwards(self):
+        clock = SimulationClock(start=5.0)
+        with pytest.raises(ClockError):
+            clock.advance_to(4.0)
+
+    def test_advance_by_negative_rejected(self):
+        with pytest.raises(ClockError):
+            SimulationClock().advance_by(-1.0)
+
+    def test_base_units(self):
+        clock = SimulationClock()
+        for _ in range(200):
+            clock.advance_by(1.0)
+        assert clock.base_units(100) == pytest.approx(2.0)
+
+    def test_base_units_rejects_bad_population(self):
+        with pytest.raises(ValueError):
+            SimulationClock().base_units(0)
+
+    def test_reset(self):
+        clock = SimulationClock()
+        clock.advance_by(10)
+        clock.reset()
+        assert clock.now == 0.0
+        assert clock.steps == 0
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        queue.push(Event(2.0, lambda e: None, name="late"))
+        queue.push(Event(1.0, lambda e: None, name="early"))
+        assert queue.pop().name == "early"
+        assert queue.pop().name == "late"
+
+    def test_orders_by_priority_at_equal_time(self):
+        queue = EventQueue()
+        queue.push(Event(1.0, lambda e: None, priority=5, name="low"))
+        queue.push(Event(1.0, lambda e: None, priority=1, name="high"))
+        assert queue.pop().name == "high"
+
+    def test_fifo_at_equal_time_and_priority(self):
+        queue = EventQueue()
+        queue.push(Event(1.0, lambda e: None, name="first"))
+        queue.push(Event(1.0, lambda e: None, name="second"))
+        assert queue.pop().name == "first"
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        event = queue.push(Event(1.0, lambda e: None, name="cancelled"))
+        queue.push(Event(2.0, lambda e: None, name="kept"))
+        event.cancel()
+        assert len(queue) == 1
+        assert queue.pop().name == "kept"
+
+    def test_pop_empty_returns_none(self):
+        assert EventQueue().pop() is None
+
+
+class TestSimulationEngine:
+    def test_runs_events_in_order(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.schedule(2.0, lambda e: seen.append("b"))
+        engine.schedule(1.0, lambda e: seen.append("a"))
+        executed = engine.run()
+        assert executed == 2
+        assert seen == ["a", "b"]
+        assert engine.now == 2.0
+
+    def test_until_bound(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.schedule(1.0, lambda e: seen.append(1))
+        engine.schedule(5.0, lambda e: seen.append(5))
+        engine.run(until=2.0)
+        assert seen == [1]
+
+    def test_max_events(self):
+        engine = SimulationEngine()
+        for i in range(10):
+            engine.schedule(i + 1.0, lambda e: None)
+        assert engine.run(max_events=3) == 3
+
+    def test_events_can_schedule_events(self):
+        engine = SimulationEngine()
+        seen = []
+
+        def chain(e):
+            seen.append(e.now)
+            if len(seen) < 4:
+                e.schedule(1.0, chain)
+
+        engine.schedule(1.0, chain)
+        engine.run()
+        assert seen == [1.0, 2.0, 3.0, 4.0]
+
+    def test_cannot_schedule_in_the_past(self):
+        engine = SimulationEngine()
+        engine.schedule(1.0, lambda e: None)
+        engine.run()
+        with pytest.raises(EngineError):
+            engine.schedule_at(0.5, lambda e: None)
+
+    def test_stop_inside_callback(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.schedule(1.0, lambda e: (seen.append(1), e.stop()))
+        engine.schedule(2.0, lambda e: seen.append(2))
+        engine.run()
+        assert seen == [1]
+
+    def test_reset(self):
+        engine = SimulationEngine()
+        engine.schedule(1.0, lambda e: None)
+        engine.run()
+        engine.reset()
+        assert engine.now == 0.0
+        assert engine.processed_events == 0
+
+
+class TestProcess:
+    def test_periodic_ticks(self):
+        engine = SimulationEngine()
+        ticks = []
+        process = Process(engine, interval=1.0, action=lambda e: ticks.append(e.now))
+        process.start(initial_delay=1.0)
+        engine.run(until=5.0)
+        assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert process.ticks == 5
+
+    def test_stop_cancels_future_ticks(self):
+        engine = SimulationEngine()
+        ticks = []
+
+        def action(e):
+            ticks.append(e.now)
+            if len(ticks) == 2:
+                process.stop()
+
+        process = Process(engine, interval=1.0, action=action)
+        process.start(initial_delay=0.0)
+        engine.run(until=10.0)
+        assert ticks == [0.0, 1.0]
+        assert not process.running
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(EngineError):
+            Process(SimulationEngine(), interval=0.0)

@@ -1,0 +1,177 @@
+"""Tests for the metric recorder, experiment runner and result tables."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.experiment import Experiment, ParameterGrid, group_results, run_experiment
+from repro.sim.random_source import RandomSource
+from repro.sim.recorder import MetricRecorder, TimeSeries
+from repro.sim.results import ResultTable, aggregate
+
+
+class TestTimeSeries:
+    def test_append_and_arrays(self):
+        series = TimeSeries("disorder")
+        series.append(0.0, 1.0)
+        series.append(1.0, 0.5)
+        times, values = series.as_arrays()
+        assert times.tolist() == [0.0, 1.0]
+        assert values.tolist() == [1.0, 0.5]
+
+    def test_rejects_out_of_order_times(self):
+        series = TimeSeries("x")
+        series.append(2.0, 1.0)
+        with pytest.raises(ValueError):
+            series.append(1.0, 1.0)
+
+    def test_value_at(self):
+        series = TimeSeries("x")
+        series.append(0.0, 10.0)
+        series.append(5.0, 20.0)
+        assert series.value_at(3.0) == 10.0
+        assert series.value_at(5.0) == 20.0
+        with pytest.raises(ValueError):
+            series.value_at(-1.0)
+
+    def test_first_time_below(self):
+        series = TimeSeries("x")
+        for t, v in [(0, 1.0), (1, 0.6), (2, 0.1), (3, 0.05)]:
+            series.append(t, v)
+        assert series.first_time_below(0.5) == 2
+        assert series.first_time_below(0.001) is None
+
+    def test_tail_mean(self):
+        series = TimeSeries("x")
+        for t in range(10):
+            series.append(t, float(t))
+        assert series.tail_mean(0.2) == pytest.approx(8.5)
+
+    def test_statistics_on_empty_series_raise(self):
+        series = TimeSeries("x")
+        with pytest.raises(ValueError):
+            series.last()
+        with pytest.raises(ValueError):
+            series.max()
+
+
+class TestMetricRecorder:
+    def test_record_and_lookup(self):
+        recorder = MetricRecorder()
+        recorder.record("a", 0.0, 1.0)
+        recorder.record("a", 1.0, 2.0)
+        assert recorder["a"].last() == 2.0
+        assert "a" in recorder
+        with pytest.raises(KeyError):
+            recorder["missing"]
+
+    def test_record_many(self):
+        recorder = MetricRecorder()
+        recorder.record_many(0.0, {"a": 1.0, "b": 2.0})
+        assert recorder.names() == ["a", "b"]
+
+    def test_merge_with_prefix(self):
+        first = MetricRecorder()
+        first.record("a", 0.0, 1.0)
+        second = MetricRecorder()
+        second.merge(first, prefix="run0/")
+        assert second.names() == ["run0/a"]
+
+    def test_summary(self):
+        recorder = MetricRecorder()
+        for t, v in enumerate([1.0, 3.0, 2.0]):
+            recorder.record("m", float(t), v)
+        summary = recorder.summary()["m"]
+        assert summary["count"] == 3
+        assert summary["max"] == 3.0
+        assert summary["last"] == 2.0
+
+
+class TestParameterGridAndExperiment:
+    def test_grid_product(self):
+        grid = ParameterGrid(n=[10, 20], d=[1, 2, 3])
+        assert len(grid) == 6
+        combos = list(grid)
+        assert {"n": 10, "d": 1} in combos
+        assert {"n": 20, "d": 3} in combos
+
+    def test_grid_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ParameterGrid()
+        with pytest.raises(ValueError):
+            ParameterGrid(n=[])
+
+    def test_experiment_runs_all_combinations(self):
+        grid = ParameterGrid(x=[1, 2], y=[3])
+        results = run_experiment(
+            "demo", grid, lambda params, source: {"sum": params["x"] + params["y"]},
+            repetitions=2,
+        )
+        assert len(results) == 4
+        assert {r.metric("sum") for r in results} == {4, 5}
+
+    def test_experiment_seeds_are_reproducible(self):
+        grid = ParameterGrid(x=[1])
+
+        def runner(params, source: RandomSource):
+            return {"draw": float(source.stream("r").random())}
+
+        first = run_experiment("demo", grid, runner, base_seed=3)
+        second = run_experiment("demo", grid, runner, base_seed=3)
+        assert first[0].metric("draw") == second[0].metric("draw")
+
+    def test_experiment_seeds_differ_across_repetitions(self):
+        grid = ParameterGrid(x=[1])
+
+        def runner(params, source: RandomSource):
+            return {"draw": float(source.stream("r").random())}
+
+        results = run_experiment("demo", grid, runner, repetitions=3, base_seed=3)
+        draws = [r.metric("draw") for r in results]
+        assert len(set(draws)) == 3
+
+    def test_missing_metric_raises(self):
+        grid = ParameterGrid(x=[1])
+        results = run_experiment("demo", grid, lambda p, s: {"a": 1})
+        with pytest.raises(KeyError):
+            results[0].metric("b")
+
+    def test_group_results(self):
+        grid = ParameterGrid(x=[1, 2])
+        results = run_experiment("demo", grid, lambda p, s: {"v": p["x"]}, repetitions=2)
+        grouped = group_results(results, by=["x"])
+        assert set(grouped) == {(1,), (2,)}
+        assert all(len(v) == 2 for v in grouped.values())
+
+
+class TestResultTable:
+    def test_add_row_and_render(self):
+        table = ResultTable("demo", ["a", "b"])
+        table.add_row(a=1, b=2.5)
+        text = table.to_text()
+        assert "demo" in text
+        assert "2.5" in text
+
+    def test_unknown_column_rejected(self):
+        table = ResultTable("demo", ["a"])
+        with pytest.raises(KeyError):
+            table.add_row(z=1)
+
+    def test_column_and_sort(self):
+        table = ResultTable("demo", ["a"])
+        table.add_row(a=3)
+        table.add_row(a=1)
+        table.sort_by("a")
+        assert table.column("a") == [1, 3]
+
+    def test_aggregate(self):
+        stats = aggregate([1.0, 2.0, 3.0], ["mean", "min", "max", "median", "count"])
+        assert stats["mean"] == 2.0
+        assert stats["count"] == 3
+
+    def test_aggregate_rejects_empty_and_unknown(self):
+        with pytest.raises(ValueError):
+            aggregate([])
+        with pytest.raises(KeyError):
+            aggregate([1.0], ["mode"])
