@@ -5,9 +5,31 @@ bodies print the regenerated rows/series (so ``pytest benchmarks/
 --benchmark-only -s`` shows the paper-shaped output) and assert the
 qualitative claims the paper makes about them; pytest-benchmark records the
 wall-clock cost of regenerating each artefact.
+
+Benchmarks that track performance claims (rather than figures) also run
+headlessly without pytest -- e.g. ``python benchmarks/bench_engine_scaling.py
+--quick`` -- and persist their numbers with :func:`write_benchmark_json` so
+regressions are reproducible from the command line.
 """
 
 from __future__ import annotations
+
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def write_benchmark_json(name: str, payload: dict, output: "Path | str | None" = None) -> Path:
+    """Write a benchmark result payload to ``BENCH_<name>.json``.
+
+    The file lands in the repository root by default (next to CHANGES.md)
+    so successive runs are easy to diff; pass ``output`` to redirect.
+    Returns the path written.
+    """
+    path = Path(output) if output is not None else REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def print_series_summary(title: str, series: dict) -> None:

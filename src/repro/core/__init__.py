@@ -20,6 +20,9 @@ the stratification studies of Sections 4-5:
   simulations (Figure 3).
 * :mod:`repro.core.metrics` -- the disorder distance and the Mean Max
   Offset (MMO).
+* :mod:`repro.core.fast` -- the vectorized array engine behind the
+  ``engine="fast"`` switch of the simulators (CSR acceptance graph,
+  fixed-width mate table, vectorized blocking-pair scans).
 """
 
 from repro.core.acceptance import AcceptanceGraph
@@ -43,6 +46,12 @@ from repro.core.metrics import collaboration_graph, disorder, matching_distance,
 from repro.core.peer import Peer, PeerPopulation
 from repro.core.ranking import GlobalRanking, RankingUtility, TitForTatUtility, UtilityFunction
 from repro.core.stable import stable_configuration
+from repro.core.fast import (
+    FastConvergenceSimulator,
+    FastMatching,
+    PeerArrays,
+    fast_stable_configuration,
+)
 
 __all__ = [
     "AcceptanceGraph",
@@ -75,4 +84,8 @@ __all__ = [
     "TitForTatUtility",
     "UtilityFunction",
     "stable_configuration",
+    "FastConvergenceSimulator",
+    "FastMatching",
+    "PeerArrays",
+    "fast_stable_configuration",
 ]

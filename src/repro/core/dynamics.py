@@ -5,6 +5,17 @@ peer takes one initiative (active or not).  A sequence of ``n`` successive
 initiatives is one *base unit* ("one expected initiative per peer"); the
 disorder -- distance between the current configuration and the stable one --
 is recorded once per sampling interval.
+
+Two interchangeable backends run the process:
+
+* ``engine="reference"`` (default) -- the dictionary/set implementation in
+  this module, which validates every invariant and accepts arbitrary
+  :class:`~repro.core.initiatives.InitiativeStrategy` objects;
+* ``engine="fast"`` -- the vectorized array engine in
+  :mod:`repro.core.fast`, roughly an order of magnitude faster at
+  n >= 10k peers and *trajectory-identical* to the reference under a
+  shared :class:`~repro.sim.random_source.RandomSource` seed (the
+  equivalence is enforced by ``tests/test_engine_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -15,6 +26,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.core.acceptance import AcceptanceGraph
+from repro.core.exceptions import validate_engine
 from repro.core.initiatives import InitiativeStrategy, make_strategy
 from repro.core.matching import Matching, is_stable
 from repro.core.metrics import disorder
@@ -74,6 +86,12 @@ class ConvergenceSimulator:
     source:
         Random source used both for picking the initiating peer and, for the
         random strategy, the proposal target.
+    engine:
+        ``"reference"`` (default) for the dictionary/set implementation in
+        this module, ``"fast"`` for the vectorized array engine in
+        :mod:`repro.core.fast`.  Both produce bit-identical trajectories
+        for the same seed; the fast engine only supports the three named
+        strategies.
     """
 
     def __init__(
@@ -81,14 +99,35 @@ class ConvergenceSimulator:
         acceptance: AcceptanceGraph,
         strategy: InitiativeStrategy | str = "best-mate",
         source: Optional[RandomSource] = None,
+        engine: str = "reference",
     ) -> None:
+        validate_engine(engine)
         self.acceptance = acceptance
-        self.ranking = GlobalRanking.from_population(acceptance.population)
-        self.strategy = (
-            make_strategy(strategy) if isinstance(strategy, str) else strategy
-        )
+        self.engine = engine
         self.source = source if source is not None else RandomSource(0)
-        self.stable = stable_configuration(acceptance, self.ranking)
+        self._stable: Optional[Matching] = None
+        if engine == "fast":
+            from repro.core.fast.dynamics import FastConvergenceSimulator
+
+            self._fast = FastConvergenceSimulator(
+                acceptance, strategy=strategy, source=self.source
+            )
+            self.ranking = self._fast.ranking
+            self.strategy = self._fast.strategy
+        else:
+            self._fast = None
+            self.ranking = GlobalRanking.from_population(acceptance.population)
+            self.strategy = (
+                make_strategy(strategy) if isinstance(strategy, str) else strategy
+            )
+            self._stable = stable_configuration(acceptance, self.ranking)
+
+    @property
+    def stable(self) -> Matching:
+        """The unique stable configuration (computed lazily for the fast engine)."""
+        if self._stable is None:
+            self._stable = self._fast.stable_matching()
+        return self._stable
 
     def run(
         self,
@@ -111,6 +150,13 @@ class ConvergenceSimulator:
         stop_when_stable:
             Stop as soon as the stable configuration is reached.
         """
+        if self._fast is not None:
+            return self._fast.run(
+                initial=initial,
+                max_base_units=max_base_units,
+                samples_per_base_unit=samples_per_base_unit,
+                stop_when_stable=stop_when_stable,
+            )
         matching = initial.copy() if initial is not None else Matching(self.acceptance)
         n = len(self.acceptance.population)
         if n == 0:
@@ -166,19 +212,23 @@ def simulate_convergence(
     seed: int = 0,
     max_base_units: float = 50.0,
     samples_per_base_unit: int = 4,
+    engine: str = "reference",
 ) -> ConvergenceResult:
     """Figure 1 helper: convergence from the empty configuration.
 
     Builds peers 1..n (rank = id), an Erdős–Rényi acceptance graph with the
     given expected degree, and runs the initiative process from the empty
-    configuration.
+    configuration.  ``engine`` selects the backend (see
+    :class:`ConvergenceSimulator`).
     """
     source = RandomSource(seed)
     population = PeerPopulation.ranked(n, slots=slots)
     acceptance = AcceptanceGraph.erdos_renyi(
         population, expected_degree=expected_degree, rng=source.stream("graph")
     )
-    simulator = ConvergenceSimulator(acceptance, strategy=strategy, source=source)
+    simulator = ConvergenceSimulator(
+        acceptance, strategy=strategy, source=source, engine=engine
+    )
     return simulator.run(
         max_base_units=max_base_units, samples_per_base_unit=samples_per_base_unit
     )
@@ -194,13 +244,15 @@ def simulate_peer_removal(
     seed: int = 0,
     max_base_units: float = 10.0,
     samples_per_base_unit: int = 10,
+    engine: str = "reference",
 ) -> ConvergenceResult:
     """Figure 2 helper: start from the stable state, remove one peer, re-converge.
 
     The initial configuration is the stable configuration of the full
     system; the peer ``removed_peer`` then leaves, and the simulation
     measures the disorder with respect to the *new* stable configuration of
-    the reduced system.
+    the reduced system.  ``engine`` selects the backend for both the stable
+    computation and the re-convergence run.
     """
     source = RandomSource(seed)
     population = PeerPopulation.ranked(n, slots=slots)
@@ -208,18 +260,18 @@ def simulate_peer_removal(
         population, expected_degree=expected_degree, rng=source.stream("graph")
     )
     ranking = GlobalRanking.from_population(population)
-    before_removal = stable_configuration(acceptance, ranking)
+    before_removal = stable_configuration(acceptance, ranking, engine=engine)
 
     # Remove the peer from the system: population, acceptance graph and the
     # inherited configuration all forget it.
     before_removal.remove_peer(removed_peer)
     acceptance.remove_peer(removed_peer)
 
-    simulator = ConvergenceSimulator(acceptance, strategy=strategy, source=source)
+    simulator = ConvergenceSimulator(
+        acceptance, strategy=strategy, source=source, engine=engine
+    )
     # Rebind the inherited configuration to the updated acceptance graph.
-    inherited = Matching(acceptance)
-    for p, q in before_removal.pairs():
-        inherited.match(p, q)
+    inherited = Matching.from_pairs(acceptance, before_removal.pairs())
     return simulator.run(
         initial=inherited,
         max_base_units=max_base_units,

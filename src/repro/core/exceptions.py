@@ -2,7 +2,14 @@
 
 from __future__ import annotations
 
-__all__ = ["ModelError", "MatchingError", "CapacityError", "UnknownPeerError"]
+__all__ = [
+    "ModelError",
+    "MatchingError",
+    "CapacityError",
+    "UnknownPeerError",
+    "ENGINES",
+    "validate_engine",
+]
 
 
 class ModelError(Exception):
@@ -19,3 +26,18 @@ class CapacityError(MatchingError):
 
 class UnknownPeerError(ModelError):
     """Raised when an operation references a peer that is not in the system."""
+
+
+ENGINES = ("reference", "fast")
+
+
+def validate_engine(engine: str) -> str:
+    """Check an ``engine=`` argument; every engine-aware entry point uses this.
+
+    Returns the engine name so call sites can validate inline.
+    """
+    if engine not in ENGINES:
+        raise ModelError(
+            f"unknown engine '{engine}' (available: {', '.join(ENGINES)})"
+        )
+    return engine

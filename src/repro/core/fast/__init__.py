@@ -1,0 +1,73 @@
+"""Vectorized, array-backed matching engine.
+
+Architecture overview
+---------------------
+
+The reference implementation in :mod:`repro.core.matching` /
+:mod:`repro.core.dynamics` stores the acceptance graph as adjacency sets
+and the configuration as ``Dict[int, Set[int]]``.  That representation is
+ideal for correctness (every operation validates its invariants) but every
+initiative walks Python dictionaries edge by edge, which caps practical
+swarm sizes at a few thousand peers.
+
+This subpackage re-expresses the whole model as flat numpy arrays so that
+the per-initiative work becomes a handful of vectorized operations over a
+single neighborhood slice:
+
+* :mod:`repro.core.fast.arrays` -- :class:`PeerArrays`, an immutable
+  CSR-style snapshot of the acceptance graph.  Peers are densely indexed
+  ``0..n-1`` in peer-id order; ``indptr``/``adj`` hold each neighborhood
+  twice, once sorted by global rank (preference order, used by the
+  best-mate and decremental scans) and once sorted by peer id (used by the
+  random strategy so that it consumes the random stream exactly like the
+  reference implementation).  Global-ranking comparisons are precomputed
+  into ``rank`` / ``adj_rank`` arrays, so preference tests are integer
+  comparisons with no hashing.
+
+* :mod:`repro.core.fast.engine` -- :class:`FastMatching`, the mutable
+  configuration: a fixed-width ``(n, b_max)`` mate table plus per-peer
+  degree counts and an *acceptance threshold* array ``thr`` where peer
+  ``i`` accepts candidate ``c`` iff ``rank[c] < thr[i]``.  Blocking-pair
+  detection, worst-mate lookup and initiative application are O(b) array
+  operations; blocking-mate search is one vectorized mask over the
+  rank-sorted neighborhood.  The module also hosts the array version of
+  Algorithm 1 (:func:`fast_stable_table`) and the fully vectorized
+  disorder metric.
+
+* :mod:`repro.core.fast.dynamics` -- :class:`FastConvergenceSimulator`,
+  a drop-in replacement for
+  :class:`repro.core.dynamics.ConvergenceSimulator` that replays the
+  Section 3 initiative process.  It consumes the shared
+  :class:`repro.sim.random_source.RandomSource` streams draw-for-draw like
+  the reference simulator, so the two engines produce *bit-identical*
+  disorder trajectories and final configurations -- the reference engine
+  stays the correctness oracle (see ``tests/test_engine_equivalence.py``).
+
+Choosing a backend
+------------------
+
+Everything here is reachable through the ``engine="fast"`` switch on the
+public entry points (:class:`repro.core.dynamics.ConvergenceSimulator`,
+:func:`repro.core.stable.stable_configuration`,
+:func:`repro.core.churn.simulate_churn`, the stratification pipelines).
+Use ``"fast"`` for large systems (n >= a few thousand) or long horizons;
+use ``"reference"`` (the default) when single-step introspection,
+custom :class:`~repro.core.initiatives.InitiativeStrategy` subclasses or
+maximum-transparency debugging matter more than throughput.
+"""
+
+from repro.core.fast.arrays import PeerArrays
+from repro.core.fast.engine import (
+    FastMatching,
+    fast_stable_configuration,
+    fast_stable_table,
+)
+from repro.core.fast.dynamics import FastConvergenceSimulator
+
+__all__ = [
+    "PeerArrays",
+    "FastMatching",
+    "fast_stable_configuration",
+    "fast_stable_table",
+    "FastConvergenceSimulator",
+]

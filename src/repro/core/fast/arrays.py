@@ -1,0 +1,136 @@
+"""CSR-style array snapshot of an acceptance graph.
+
+:class:`PeerArrays` freezes a :class:`repro.core.acceptance.AcceptanceGraph`
+(and the global ranking of its population) into dense integer arrays.  The
+snapshot is immutable: the churn pipeline rebuilds it after every
+population change, which keeps the hot initiative loop free of any
+dictionary access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.acceptance import AcceptanceGraph
+from repro.core.ranking import GlobalRanking
+
+__all__ = ["PeerArrays"]
+
+
+@dataclass(frozen=True)
+class PeerArrays:
+    """Immutable array view of an acceptance graph and its global ranking.
+
+    Peers are densely indexed ``0..n-1`` in increasing peer-id order (the
+    same order as ``AcceptanceGraph.peer_ids()``, so drawing a uniform
+    index reproduces the reference simulators' uniform peer choice).
+
+    Attributes
+    ----------
+    ids:
+        ``(n,)`` sorted peer ids; ``ids[i]`` is the id of index ``i``.
+    rank:
+        ``(n,)`` 1-based global rank of each index (1 = best peer).
+    caps:
+        ``(n,)`` slot budgets b(p).
+    indptr:
+        ``(n + 1,)`` CSR row pointers into the adjacency arrays.
+    adj:
+        ``(2m,)`` neighbor indices; the slice of peer ``i`` is sorted by
+        increasing rank (best candidate first -- preference order).
+    adj_rank:
+        ``(2m,)`` precomputed ``rank[adj]`` (saves one gather per scan).
+    adj_by_id:
+        ``(2m,)`` the same neighborhoods sorted by increasing peer id,
+        matching the candidate order the reference random strategy feeds
+        to ``rng.choice``.
+    adj_ids:
+        ``(2m,)`` peer ids aligned with ``adj_by_id``.
+    ranking:
+        The :class:`GlobalRanking` the ranks were derived from.
+    """
+
+    ids: np.ndarray
+    rank: np.ndarray
+    caps: np.ndarray
+    indptr: np.ndarray
+    adj: np.ndarray
+    adj_rank: np.ndarray
+    adj_by_id: np.ndarray
+    adj_ids: np.ndarray
+    ranking: GlobalRanking
+
+    @property
+    def n(self) -> int:
+        """Number of peers."""
+        return int(self.ids.size)
+
+    @property
+    def b_max(self) -> int:
+        """Largest slot budget (width of the mate table)."""
+        return int(self.caps.max()) if self.caps.size else 0
+
+    def index_of(self) -> Dict[int, int]:
+        """Mapping peer id -> dense index."""
+        return {int(pid): i for i, pid in enumerate(self.ids)}
+
+    def neighborhood(self, i: int) -> np.ndarray:
+        """Neighbor indices of ``i``, best-ranked first."""
+        return self.adj[self.indptr[i]:self.indptr[i + 1]]
+
+    @classmethod
+    def build(
+        cls,
+        acceptance: AcceptanceGraph,
+        ranking: Optional[GlobalRanking] = None,
+    ) -> "PeerArrays":
+        """Snapshot ``acceptance`` (and its ranking) into dense arrays."""
+        if ranking is None:
+            ranking = GlobalRanking.from_population(acceptance.population)
+        ids = np.asarray(acceptance.peer_ids(), dtype=np.int64)
+        n = int(ids.size)
+        rank = np.fromiter(
+            (ranking.rank(int(pid)) for pid in ids), dtype=np.int64, count=n
+        )
+        caps = np.fromiter(
+            (acceptance.population.get(int(pid)).slots for pid in ids),
+            dtype=np.int64,
+            count=n,
+        )
+
+        graph = acceptance.graph
+        degrees = np.fromiter(
+            (len(graph.neighbors(int(pid))) for pid in ids), dtype=np.int64, count=n
+        )
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(degrees, out=indptr[1:])
+        total = int(indptr[-1])
+
+        adj = np.empty(total, dtype=np.int64)
+        adj_by_id = np.empty(total, dtype=np.int64)
+        for i, pid in enumerate(ids):
+            nbr_ids = np.fromiter(graph.neighbors(int(pid)), dtype=np.int64)
+            # ids is sorted, so searchsorted maps id -> dense index.
+            nbr_idx = np.searchsorted(ids, nbr_ids)
+            start, end = indptr[i], indptr[i + 1]
+            adj_by_id[start:end] = np.sort(nbr_idx)
+            adj[start:end] = nbr_idx[np.argsort(rank[nbr_idx], kind="stable")]
+        adj_rank = rank[adj]
+        adj_ids = ids[adj_by_id]
+
+        for array in (ids, rank, caps, indptr, adj, adj_rank, adj_by_id, adj_ids):
+            array.setflags(write=False)
+        return cls(
+            ids=ids,
+            rank=rank,
+            caps=caps,
+            indptr=indptr,
+            adj=adj,
+            adj_rank=adj_rank,
+            adj_by_id=adj_by_id,
+            adj_ids=adj_ids,
+            ranking=ranking,
+        )

@@ -1,0 +1,258 @@
+"""Vectorized convergence dynamics (the ``engine="fast"`` backend).
+
+:class:`FastConvergenceSimulator` replays the Section 3 initiative process
+of :class:`repro.core.dynamics.ConvergenceSimulator` on the array engine.
+The two implementations are kept *trajectory-identical*: they draw the
+initiating peer, scan candidates and consume every random stream in the
+same order, so a shared :class:`~repro.sim.random_source.RandomSource`
+seed yields bit-identical disorder trajectories and final configurations.
+That contract is what lets the reference engine act as the correctness
+oracle in ``tests/test_engine_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.core.acceptance import AcceptanceGraph
+from repro.core.dynamics import ConvergenceResult
+from repro.core.exceptions import ModelError
+from repro.core.fast.arrays import PeerArrays
+from repro.core.fast.engine import FastMatching, fast_stable_table
+from repro.core.initiatives import (
+    BestMateInitiative,
+    DecrementalInitiative,
+    InitiativeStrategy,
+    RandomInitiative,
+)
+from repro.core.matching import Matching
+from repro.core.ranking import GlobalRanking
+from repro.sim.random_source import RandomSource
+from repro.sim.recorder import TimeSeries
+
+__all__ = [
+    "FastInitiativeStrategy",
+    "FastBestMateInitiative",
+    "FastDecrementalInitiative",
+    "FastRandomInitiative",
+    "make_fast_strategy",
+    "FastConvergenceSimulator",
+]
+
+
+class FastInitiativeStrategy:
+    """How an initiating peer index scans its neighborhood (array engine)."""
+
+    name: str = "abstract"
+
+    def propose(
+        self, matching: FastMatching, peer: int, rng: np.random.Generator
+    ) -> int:
+        """Dense index of the proposal target, or ``-1`` for nobody."""
+        raise NotImplementedError
+
+    def take_initiative(
+        self, matching: FastMatching, peer: int, rng: np.random.Generator
+    ) -> bool:
+        """Run one initiative of ``peer``; return whether it was active."""
+        target = self.propose(matching, peer, rng)
+        if target < 0:
+            return False
+        return matching.apply_initiative(peer, target)
+
+
+class FastBestMateInitiative(FastInitiativeStrategy):
+    """Propose to the best available blocking mate."""
+
+    name = "best-mate"
+
+    def propose(
+        self, matching: FastMatching, peer: int, rng: np.random.Generator
+    ) -> int:
+        del rng
+        return matching.best_blocking_mate(peer)
+
+
+class FastDecrementalInitiative(FastInitiativeStrategy):
+    """Circular scan of the rank-sorted neighborhood, resuming where it stopped.
+
+    The cursor is keyed by *peer id* (not dense index) so that it survives
+    the array rebuilds of the churn pipeline, exactly like the reference
+    strategy's per-peer dictionary.
+    """
+
+    name = "decremental"
+
+    def __init__(self) -> None:
+        self._cursor: Dict[int, int] = {}
+
+    def propose(
+        self, matching: FastMatching, peer: int, rng: np.random.Generator
+    ) -> int:
+        del rng
+        arrays = matching.arrays
+        start, end = arrays.indptr[peer], arrays.indptr[peer + 1]
+        count = int(end - start)
+        if count == 0:
+            return -1
+        peer_id = int(arrays.ids[peer])
+        position = self._cursor.get(peer_id, 0) % count
+        self._cursor[peer_id] = (position + 1) % count
+        return int(arrays.adj[start + position])
+
+    def reset(self) -> None:
+        """Forget all scan positions."""
+        self._cursor.clear()
+
+
+class FastRandomInitiative(FastInitiativeStrategy):
+    """Propose to one uniformly random acceptable peer.
+
+    ``rng.choice`` is applied to the id-sorted neighborhood, the same
+    candidate order (and hence the same stream consumption) as the
+    reference :class:`~repro.core.initiatives.RandomInitiative`.
+    """
+
+    name = "random"
+
+    def propose(
+        self, matching: FastMatching, peer: int, rng: np.random.Generator
+    ) -> int:
+        arrays = matching.arrays
+        start, end = arrays.indptr[peer], arrays.indptr[peer + 1]
+        if start == end:
+            return -1
+        candidate_ids = arrays.adj_ids[start:end]
+        target_id = int(rng.choice(candidate_ids))
+        position = int(np.searchsorted(candidate_ids, target_id))
+        return int(arrays.adj_by_id[start + position])
+
+
+_FAST_STRATEGIES = {
+    "best-mate": FastBestMateInitiative,
+    "decremental": FastDecrementalInitiative,
+    "random": FastRandomInitiative,
+}
+
+# Exact reference classes with a fast twin.  Subclasses are deliberately
+# NOT matched: a subclass overriding propose() would be silently replaced
+# by the stock behavior, producing wrong results with no error.
+_REFERENCE_TWINS = {
+    BestMateInitiative: "best-mate",
+    DecrementalInitiative: "decremental",
+    RandomInitiative: "random",
+}
+
+
+def make_fast_strategy(
+    strategy: Union[str, InitiativeStrategy, FastInitiativeStrategy],
+) -> FastInitiativeStrategy:
+    """Resolve a strategy name (or a stock reference strategy) to its fast twin.
+
+    Accepts a strategy name, a :class:`FastInitiativeStrategy`, or an
+    instance of one of the three stock reference classes (matched by exact
+    type; any scan-cursor state starts fresh).  Custom
+    :class:`InitiativeStrategy` subclasses cannot be vectorized
+    automatically; use ``engine="reference"`` for those.
+    """
+    if isinstance(strategy, FastInitiativeStrategy):
+        return strategy
+    if isinstance(strategy, str):
+        name = strategy
+    else:
+        name = _REFERENCE_TWINS.get(type(strategy))
+    if name not in _FAST_STRATEGIES:
+        raise ModelError(
+            f"the fast engine has no equivalent of strategy {strategy!r}; "
+            f"available: {sorted(_FAST_STRATEGIES)} (or use engine='reference')"
+        )
+    return _FAST_STRATEGIES[name]()
+
+
+class FastConvergenceSimulator:
+    """Array-engine twin of :class:`repro.core.dynamics.ConvergenceSimulator`.
+
+    Parameters mirror the reference simulator; ``run`` returns the same
+    :class:`~repro.core.dynamics.ConvergenceResult` (with the final
+    configuration converted back to a reference ``Matching``).
+    """
+
+    def __init__(
+        self,
+        acceptance: AcceptanceGraph,
+        strategy: Union[str, InitiativeStrategy, FastInitiativeStrategy] = "best-mate",
+        source: Optional[RandomSource] = None,
+    ) -> None:
+        self.acceptance = acceptance
+        self.ranking = GlobalRanking.from_population(acceptance.population)
+        self.arrays = PeerArrays.build(acceptance, self.ranking)
+        self.strategy = make_fast_strategy(strategy)
+        self.source = source if source is not None else RandomSource(0)
+        self.stable_table = fast_stable_table(self.arrays)
+        self._stable_sorted = self.stable_table.sorted_rank_table()
+
+    def stable_matching(self) -> Matching:
+        """The stable configuration as a reference ``Matching``."""
+        return self.stable_table.to_matching(self.acceptance)
+
+    def run(
+        self,
+        *,
+        initial: Optional[Union[Matching, FastMatching]] = None,
+        max_base_units: float = 50.0,
+        samples_per_base_unit: int = 4,
+        stop_when_stable: bool = True,
+    ) -> ConvergenceResult:
+        """Run the initiative process; see the reference ``run`` for semantics."""
+        matching = FastMatching(self.arrays)
+        if isinstance(initial, FastMatching):
+            matching.load_pairs(initial.pairs())
+        elif initial is not None:
+            matching.load_matching(initial)
+        n = self.arrays.n
+        if n == 0:
+            raise ValueError("cannot simulate an empty population")
+        rng = self.source.stream("initiatives")
+
+        trajectory = TimeSeries("disorder")
+        total_steps = int(round(max_base_units * n))
+        sample_every = max(1, n // max(1, samples_per_base_unit))
+
+        initiatives = 0
+        active = 0
+        time_to_converge: Optional[float] = None
+
+        current_disorder = matching.disorder(self._stable_sorted)
+        trajectory.append(0.0, current_disorder)
+        if current_disorder == 0.0:
+            time_to_converge = 0.0
+
+        take_initiative = self.strategy.take_initiative
+        for step in range(1, total_steps + 1):
+            peer = int(rng.integers(n))
+            if take_initiative(matching, peer, rng):
+                active += 1
+            initiatives += 1
+
+            if step % sample_every == 0 or step == total_steps:
+                base_units = step / n
+                current_disorder = matching.disorder(self._stable_sorted)
+                trajectory.append(base_units, current_disorder)
+                if current_disorder == 0.0 and time_to_converge is None:
+                    time_to_converge = base_units
+                    if stop_when_stable:
+                        break
+
+        converged = bool(
+            (matching.sorted_rank_table() == self._stable_sorted).all()
+        )
+        return ConvergenceResult(
+            trajectory=trajectory,
+            initiatives=initiatives,
+            active_initiatives=active,
+            converged=converged,
+            time_to_converge=time_to_converge,
+            final_matching=matching.to_matching(self.acceptance),
+        )

@@ -6,6 +6,11 @@ not matched together that both wish to be matched together -- either because
 they have a spare slot or because they prefer each other to their current
 worst mate.  A configuration with no blocking pair is *stable* and, for the
 global-ranking class, unique.
+
+This module is the *reference* representation: adjacency dictionaries with
+full invariant validation on every mutation.  The vectorized counterpart
+used for large systems lives in :mod:`repro.core.fast`; the two are kept
+behaviorally identical by ``tests/test_engine_equivalence.py``.
 """
 
 from __future__ import annotations
@@ -141,6 +146,21 @@ class Matching:
 
     # -- conversions -----------------------------------------------------------
 
+    @classmethod
+    def from_pairs(
+        cls, acceptance: AcceptanceGraph, pairs: Iterable[Tuple[int, int]]
+    ) -> "Matching":
+        """Build a configuration from matched peer-id pairs.
+
+        Every pair is validated like a normal :meth:`match` call, so the
+        result is guaranteed feasible.  Used to rebind configurations to an
+        updated acceptance graph and to convert from the array engine.
+        """
+        matching = cls(acceptance)
+        for p, q in pairs:
+            matching.match(p, q)
+        return matching
+
     def copy(self) -> "Matching":
         """A deep copy bound to the same acceptance graph object."""
         clone = Matching(self.acceptance)
@@ -155,7 +175,12 @@ class Matching:
         return graph
 
     def mate_vector(self, ranking: GlobalRanking) -> Dict[int, List[int]]:
-        """Mates of every peer sorted best-first (used by the disorder metric)."""
+        """Mates of every peer sorted best-first.
+
+        This is the sigma vector of Section 3 expressed with peer ids
+        instead of ranks; the disorder metric itself recomputes the rank
+        version internally (see :func:`repro.core.metrics.matching_distance`).
+        """
         return {
             peer_id: ranking.sorted_by_rank(mates)
             for peer_id, mates in self._mates.items()

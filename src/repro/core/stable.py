@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.core.acceptance import AcceptanceGraph
+from repro.core.exceptions import validate_engine
 from repro.core.matching import Matching
 from repro.core.ranking import GlobalRanking
 
@@ -21,6 +22,8 @@ __all__ = ["stable_configuration"]
 def stable_configuration(
     acceptance: AcceptanceGraph,
     ranking: Optional[GlobalRanking] = None,
+    *,
+    engine: str = "reference",
 ) -> Matching:
     """Compute the unique stable configuration of the b-matching problem.
 
@@ -31,6 +34,10 @@ def stable_configuration(
         budgets b(p)).
     ranking:
         The global ranking; derived from the population scores when omitted.
+    engine:
+        ``"reference"`` (default) runs Algorithm 1 on the dictionary
+        structures below; ``"fast"`` runs the vectorized version in
+        :mod:`repro.core.fast.engine`.  Both return the same matching.
 
     Returns
     -------
@@ -44,6 +51,10 @@ def stable_configuration(
     left.  The run time is O(sum of acceptance degrees) after the initial
     sort of each neighborhood.
     """
+    if validate_engine(engine) == "fast":
+        from repro.core.fast.engine import fast_stable_configuration
+
+        return fast_stable_configuration(acceptance, ranking)
     if ranking is None:
         ranking = GlobalRanking.from_population(acceptance.population)
 

@@ -51,16 +51,19 @@ def figure1_convergence(
     *,
     seed: int = 0,
     max_base_units: float = 40.0,
+    engine: str = "reference",
 ) -> Dict[str, Dict[str, np.ndarray]]:
     """Figure 1: disorder trajectories from the empty configuration.
 
     Paper parameters: 1-matching on G(n, d) for (n, d) in
-    {(100, 50), (1000, 10), (1000, 50)}, best-mate initiatives.
+    {(100, 50), (1000, 10), (1000, 50)}, best-mate initiatives.  Pass
+    ``engine="fast"`` to run paper-scale (or larger) systems on the
+    vectorized backend; trajectories are identical either way.
     """
     series: Dict[str, Dict[str, np.ndarray]] = {}
     for index, (n, d) in enumerate(parameters):
         result = simulate_convergence(
-            n, d, seed=seed + index, max_base_units=max_base_units
+            n, d, seed=seed + index, max_base_units=max_base_units, engine=engine
         )
         times, values = result.trajectory.as_arrays()
         series[f"n={n},d={d}"] = {
@@ -80,6 +83,7 @@ def figure2_peer_removal(
     expected_degree: float = 10.0,
     seed: int = 0,
     max_base_units: float = 10.0,
+    engine: str = "reference",
 ) -> Dict[str, Dict[str, np.ndarray]]:
     """Figure 2: re-convergence after removing one peer from the stable state.
 
@@ -94,6 +98,7 @@ def figure2_peer_removal(
             peer,
             seed=seed + index,
             max_base_units=max_base_units,
+            engine=engine,
         )
         times, values = result.trajectory.as_arrays()
         series[f"peer {peer} removed"] = {
@@ -111,6 +116,7 @@ def figure3_churn(
     expected_degree: float = 10.0,
     seed: int = 0,
     max_base_units: float = 20.0,
+    engine: str = "reference",
 ) -> Dict[str, Dict[str, np.ndarray]]:
     """Figure 3: disorder under churn, starting from the empty configuration.
 
@@ -124,6 +130,7 @@ def figure3_churn(
             expected_degree=expected_degree,
             churn_rate=rate,
             max_base_units=max_base_units,
+            engine=engine,
         )
         result = simulate_churn(config, seed=seed + index)
         times, values = result.trajectory.as_arrays()
@@ -174,11 +181,14 @@ def figure6_phase_transition(
     n: int = 20000,
     repetitions: int = 2,
     seed: int = 0,
+    engine: str = "reference",
 ) -> ResultTable:
     """Figure 6: mean cluster size and MMO as a function of sigma (b_mean = 6)."""
     if sigmas is None:
         sigmas = [0.0, 0.05, 0.1, 0.15, 0.2, 0.3, 0.5, 0.75, 1.0, 1.5, 2.0]
-    points = sigma_sweep(n, b_mean, list(sigmas), repetitions=repetitions, seed=seed)
+    points = sigma_sweep(
+        n, b_mean, list(sigmas), repetitions=repetitions, seed=seed, engine=engine
+    )
     table = ResultTable(
         title=f"Figure 6: N({b_mean:g}, sigma) matching on a complete graph (n={n})",
         columns=["sigma", "mean_cluster_size", "mean_max_offset", "largest_cluster"],
@@ -200,9 +210,12 @@ def table1_clustering(
     n: Optional[int] = None,
     repetitions: int = 2,
     seed: int = 0,
+    engine: str = "reference",
 ) -> ResultTable:
     """Table 1: cluster size and MMO, constant vs N(b, 0.2) matching."""
-    rows = _table1(b_values, sigma=sigma, n=n, repetitions=repetitions, seed=seed)
+    rows = _table1(
+        b_values, sigma=sigma, n=n, repetitions=repetitions, seed=seed, engine=engine
+    )
     table = ResultTable(
         title="Table 1: clustering and stratification in a complete knowledge graph",
         columns=[

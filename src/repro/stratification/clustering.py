@@ -19,6 +19,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.exceptions import validate_engine
+
 __all__ = [
     "complete_graph_stable_matching",
     "ClusterAnalysis",
@@ -140,28 +142,75 @@ class ClusterAnalysis:
     connected: bool
 
 
-def analyze_complete_matching(slots: Sequence[int]) -> ClusterAnalysis:
-    """Build the stable matching for ``slots`` and analyse its structure."""
-    n = len(slots)
-    edges = complete_graph_stable_matching(slots)
+def _component_sizes_reference(n: int, first: np.ndarray, second: np.ndarray) -> List[int]:
+    """Connected-component sizes via the pure-Python union-find."""
     union = _UnionFind(n)
-    max_offset = np.zeros(n, dtype=np.int64)
-    has_mate = np.zeros(n, dtype=bool)
-    for better, worse in edges:
-        union.union(better - 1, worse - 1)
-        offset = worse - better
-        has_mate[better - 1] = True
-        has_mate[worse - 1] = True
-        if offset > max_offset[better - 1]:
-            max_offset[better - 1] = offset
-        if offset > max_offset[worse - 1]:
-            max_offset[worse - 1] = offset
-
+    for a, b in zip(first, second):
+        union.union(int(a), int(b))
     counts: Dict[int, int] = {}
     for index in range(n):
         root = union.find(index)
         counts[root] = counts.get(root, 0) + 1
-    sizes = sorted(counts.values(), reverse=True)
+    return sorted(counts.values(), reverse=True)
+
+
+def _component_sizes_fast(n: int, first: np.ndarray, second: np.ndarray) -> List[int]:
+    """Connected-component sizes on arrays.
+
+    Uses :mod:`scipy.sparse.csgraph` (C implementation) when available and
+    falls back to the Python union-find otherwise -- scipy is an optional
+    accelerator, not a dependency.
+    """
+    try:
+        from scipy.sparse import coo_matrix
+        from scipy.sparse.csgraph import connected_components
+    except ImportError:  # pragma: no cover - exercised only without scipy
+        return _component_sizes_reference(n, first, second)
+    data = np.ones(first.size, dtype=np.int8)
+    adjacency = coo_matrix((data, (first, second)), shape=(n, n))
+    _, labels = connected_components(adjacency, directed=False)
+    return sorted(np.bincount(labels).tolist(), reverse=True)
+
+
+def analyze_complete_matching(
+    slots: Sequence[int], *, engine: str = "reference"
+) -> ClusterAnalysis:
+    """Build the stable matching for ``slots`` and analyse its structure.
+
+    ``engine="fast"`` computes offsets and degrees with vectorized numpy
+    scatter operations and delegates connected components to scipy's C
+    implementation when present; ``"reference"`` (default) keeps the
+    per-edge Python loop.  Both return identical analyses (asserted by the
+    equivalence tests).
+    """
+    validate_engine(engine)
+    n = len(slots)
+    edges = complete_graph_stable_matching(slots)
+    if engine == "fast":
+        pairs = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        better = pairs[:, 0] - 1
+        worse = pairs[:, 1] - 1
+        offsets = worse - better
+        max_offset = np.zeros(n, dtype=np.int64)
+        np.maximum.at(max_offset, better, offsets)
+        np.maximum.at(max_offset, worse, offsets)
+        has_mate = np.zeros(n, dtype=bool)
+        has_mate[better] = True
+        has_mate[worse] = True
+        sizes = _component_sizes_fast(n, better, worse)
+    else:
+        max_offset = np.zeros(n, dtype=np.int64)
+        has_mate = np.zeros(n, dtype=bool)
+        for better, worse in edges:
+            offset = worse - better
+            has_mate[better - 1] = True
+            has_mate[worse - 1] = True
+            if offset > max_offset[better - 1]:
+                max_offset[better - 1] = offset
+            if offset > max_offset[worse - 1]:
+                max_offset[worse - 1] = offset
+        pairs = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        sizes = _component_sizes_reference(n, pairs[:, 0] - 1, pairs[:, 1] - 1)
 
     matched = int(has_mate.sum())
     mmo = float(max_offset[has_mate].mean()) if matched else 0.0

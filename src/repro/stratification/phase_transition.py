@@ -52,8 +52,13 @@ def variable_matching_statistics(
     *,
     repetitions: int = 3,
     seed: int = 0,
+    engine: str = "reference",
 ) -> SigmaSweepPoint:
-    """Average cluster size and MMO for N(b_mean, sigma^2) slot budgets."""
+    """Average cluster size and MMO for N(b_mean, sigma^2) slot budgets.
+
+    ``engine`` selects the clustering backend (see
+    :func:`repro.stratification.clustering.analyze_complete_matching`).
+    """
     if repetitions <= 0:
         raise ValueError("repetitions must be positive")
     source = RandomSource(seed)
@@ -63,7 +68,7 @@ def variable_matching_statistics(
     for repetition in range(repetitions):
         rng = source.fresh_stream(f"slots-{sigma}-{repetition}")
         slots = rounded_normal_slots(n, b_mean, sigma, rng)
-        analysis = analyze_complete_matching(slots)
+        analysis = analyze_complete_matching(slots, engine=engine)
         cluster_sizes.append(analysis.mean_cluster_size)
         mmos.append(analysis.mean_max_offset)
         largest.append(float(analysis.largest_cluster))
@@ -83,11 +88,12 @@ def sigma_sweep(
     *,
     repetitions: int = 3,
     seed: int = 0,
+    engine: str = "reference",
 ) -> List[SigmaSweepPoint]:
     """Figure 6: sweep sigma and record mean cluster size and MMO."""
     return [
         variable_matching_statistics(
-            n, b_mean, sigma, repetitions=repetitions, seed=seed + index
+            n, b_mean, sigma, repetitions=repetitions, seed=seed + index, engine=engine
         )
         for index, sigma in enumerate(sigmas)
     ]
@@ -100,6 +106,7 @@ def table1(
     n: Optional[int] = None,
     repetitions: int = 3,
     seed: int = 0,
+    engine: str = "reference",
 ) -> List[Dict[str, float]]:
     """Reproduce Table 1: constant vs N(b, sigma) matching statistics.
 
@@ -117,7 +124,8 @@ def table1(
         # above the expected size while bounding the run time.
         population = n if n is not None else min(60_000, max(5_000, 40 * (b + 1) ** 4))
         point = variable_matching_statistics(
-            population, float(b), sigma, repetitions=repetitions, seed=seed + index
+            population, float(b), sigma, repetitions=repetitions, seed=seed + index,
+            engine=engine,
         )
         rows.append(
             {
@@ -140,6 +148,7 @@ def estimate_transition_sigma(
     threshold_factor: float = 4.0,
     repetitions: int = 3,
     seed: int = 0,
+    engine: str = "reference",
 ) -> float:
     """Estimate the sigma at which the mean cluster size explodes.
 
@@ -149,7 +158,9 @@ def estimate_transition_sigma(
     """
     if sigmas is None:
         sigmas = np.arange(0.0, 0.51, 0.05)
-    points = sigma_sweep(n, b_mean, list(sigmas), repetitions=repetitions, seed=seed)
+    points = sigma_sweep(
+        n, b_mean, list(sigmas), repetitions=repetitions, seed=seed, engine=engine
+    )
     threshold = threshold_factor * (b_mean + 1)
     for point in points:
         if point.mean_cluster_size >= threshold:
