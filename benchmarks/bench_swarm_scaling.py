@@ -1,0 +1,197 @@
+"""Swarm-engine scaling: reference vs fast swarm simulator at 1k / 5k leechers.
+
+Like ``bench_engine_scaling.py`` this tracks an implementation claim rather
+than a paper figure: the packed-bit array swarm engine
+(:mod:`repro.bittorrent.fast`) must beat the reference dictionary simulator
+by at least 5x at 5,000 leechers on a post-flash-crowd Tit-for-Tat workload
+(Saroiu-style bandwidths, rarest-first selection, 30% bootstrap).  Both
+engines run through the public ``engine=`` switch with the same seed and
+are bit-identical (checksummed below), so the timed work is the same swarm
+round for round -- the comparison is pure implementation cost.
+
+The full mode adds a fast-engine-only row at 50k leechers: the scale the
+array engine unlocks (flash crowds, seed-starved swarms) where the
+reference simulator is no longer practical to time.
+
+Run headlessly (writes ``BENCH_swarm_scaling.json`` in the repo root):
+
+    python benchmarks/bench_swarm_scaling.py --quick     # 1k + 5k
+    python benchmarks/bench_swarm_scaling.py             # 1k + 5k + 50k (fast only)
+
+or through pytest: ``pytest benchmarks/bench_swarm_scaling.py -s``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+if __name__ == "__main__":  # headless invocation: make src/ importable
+    _SRC = Path(__file__).resolve().parent.parent / "src"
+    if str(_SRC) not in sys.path:
+        sys.path.insert(0, str(_SRC))
+
+from repro.bittorrent.swarm import SwarmConfig, SwarmSimulator
+
+SEED = 2007  # ICDCS'07
+TIMED_SIZES = (1_000, 5_000)  # both engines; full mode adds the showcase
+SHOWCASE_SIZE = 50_000  # fast engine only (full mode)
+REQUIRED_SPEEDUP_AT_5K = 5.0
+GATE_SIZE = 5_000
+
+
+def _swarm_config(leechers: int) -> SwarmConfig:
+    """The timed workload: a post-flash-crowd swarm, ~10 rechoke rounds."""
+    return SwarmConfig(
+        leechers=leechers,
+        seeds=max(3, leechers // 2_000),
+        piece_count=300,
+        rounds=10,
+        start_completion=0.3,
+        seed_upload_kbps=5_000.0,
+        announce_size=20,
+    )
+
+
+def _checksum(result) -> Dict[str, float]:
+    """A few exact aggregates; engines diverging here invalidates the timing."""
+    return {
+        "completed": result.completed,
+        "rounds_run": result.rounds_run,
+        "total_downloaded_kbit": sum(
+            p.downloaded_kbit for p in result.peers.values()
+        ),
+        "collaboration_pairs": len(result.collaboration_volume),
+        "tft_pairs": len(result.tft_reciprocal_rounds),
+    }
+
+
+def _time_engine(leechers: int, engine: str) -> Dict[str, object]:
+    config = _swarm_config(leechers)
+    start = time.perf_counter()
+    result = SwarmSimulator(config, seed=SEED, engine=engine).run()
+    elapsed = time.perf_counter() - start
+    return {"seconds": elapsed, "checksum": _checksum(result)}
+
+
+def run_scaling(sizes, showcase: Optional[int] = None) -> List[Dict[str, object]]:
+    """Time both engines on identical workloads at each swarm size."""
+    rows: List[Dict[str, object]] = []
+    for leechers in sizes:
+        fast = _time_engine(leechers, "fast")
+        reference = _time_engine(leechers, "reference")
+        if reference["checksum"] != fast["checksum"]:
+            raise AssertionError(
+                f"engines diverged at leechers={leechers}: "
+                f"reference={reference['checksum']}, fast={fast['checksum']}"
+            )
+        speedup = reference["seconds"] / fast["seconds"]
+        rows.append(
+            {
+                "leechers": leechers,
+                "reference_seconds": round(reference["seconds"], 4),
+                "fast_seconds": round(fast["seconds"], 4),
+                "speedup": round(speedup, 2),
+                "checksum": fast["checksum"],
+            }
+        )
+        print(
+            f"leechers={leechers:>7,}: reference={reference['seconds']:7.2f}s  "
+            f"fast={fast['seconds']:6.2f}s  speedup={speedup:5.1f}x"
+        )
+    if showcase:
+        fast = _time_engine(showcase, "fast")
+        rows.append(
+            {
+                "leechers": showcase,
+                "reference_seconds": None,
+                "fast_seconds": round(fast["seconds"], 4),
+                "speedup": None,
+                "checksum": fast["checksum"],
+            }
+        )
+        print(
+            f"leechers={showcase:>7,}: reference=   (skipped)  "
+            f"fast={fast['seconds']:6.2f}s  (fast engine only)"
+        )
+    return rows
+
+
+def build_payload(rows: List[Dict[str, object]], mode: str) -> Dict[str, object]:
+    """Assemble the JSON payload; the CLI and pytest paths share this shape."""
+    return {
+        "benchmark": "swarm_scaling",
+        "workload": {
+            "seeds": "max(3, leechers // 2000)",
+            "piece_count": 300,
+            "rounds": 10,
+            "start_completion": 0.3,
+            "piece_selection": "rarest-first",
+            "announce_size": 20,
+            "bandwidths": "saroiu-like mixture",
+            "seed": SEED,
+        },
+        "mode": mode,
+        "results": rows,
+        "speedup_at_5k": next(
+            row["speedup"] for row in rows if row["leechers"] == GATE_SIZE
+        ),
+        "required_speedup_at_5k": REQUIRED_SPEEDUP_AT_5K,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-style run: 1k + 5k only (the 5x gate still applies)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="where to write the JSON result (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    showcase = None if args.quick else SHOWCASE_SIZE
+    rows = run_scaling(TIMED_SIZES, showcase)
+
+    payload = build_payload(rows, mode="quick" if args.quick else "full")
+    speedup_at_5k = payload["speedup_at_5k"]
+    # Import here so the module also works when pytest imports it from the
+    # benchmarks directory (conftest is on the path in both invocations).
+    from conftest import write_benchmark_json
+
+    path = write_benchmark_json("swarm_scaling", payload, args.output)
+    print(f"wrote {path}")
+
+    if speedup_at_5k < REQUIRED_SPEEDUP_AT_5K:
+        print(
+            f"FAIL: fast swarm engine speedup at 5k leechers is "
+            f"{speedup_at_5k:.1f}x (required: >= {REQUIRED_SPEEDUP_AT_5K:.0f}x)"
+        )
+        return 1
+    print(
+        f"PASS: fast swarm engine is {speedup_at_5k:.1f}x faster at 5k "
+        f"leechers (required: >= {REQUIRED_SPEEDUP_AT_5K:.0f}x)"
+    )
+    return 0
+
+
+def test_swarm_scaling_quick():
+    """Pytest entry point: the quick sizes must clear the 5x gate."""
+    rows = run_scaling(TIMED_SIZES)
+    from conftest import write_benchmark_json
+
+    payload = build_payload(rows, mode="quick")
+    write_benchmark_json("swarm_scaling", payload)
+    assert payload["speedup_at_5k"] >= REQUIRED_SPEEDUP_AT_5K
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

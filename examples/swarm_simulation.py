@@ -34,9 +34,9 @@ def main() -> None:
     )
     print(
         f"Simulating a swarm of {leechers} leechers + {config.seeds} seeds, "
-        f"{config.piece_count} pieces of {config.piece_size_kb:.0f} kb..."
+        f"{config.piece_count} pieces of {config.piece_size_kbit:.0f} kbit..."
     )
-    result = SwarmSimulator(config, bandwidths=bandwidths, seed=7).run()
+    result = SwarmSimulator(config, bandwidths=bandwidths, seed=7, engine="fast").run()
 
     rates = result.download_rates()
     ratios = result.share_ratios()

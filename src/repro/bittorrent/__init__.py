@@ -13,6 +13,8 @@
   ratio as a function of upload bandwidth (Figure 11).
 * :mod:`repro.bittorrent.strategy` -- slot-count arguments (connectivity
   lower bound, rational deviations, the default of 4).
+* :mod:`repro.bittorrent.fast` -- the packed-bit array swarm engine behind
+  ``SwarmSimulator(config, engine="fast")``.
 """
 
 from repro.bittorrent.bandwidth import (

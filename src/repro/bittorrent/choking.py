@@ -15,7 +15,60 @@ from typing import Dict, List, Mapping, Optional, Sequence, Set
 
 import numpy as np
 
-__all__ = ["UnchokeDecision", "ChokingPolicy", "TitForTatChoker", "SeedChoker"]
+__all__ = [
+    "UnchokeDecision",
+    "ChokingPolicy",
+    "TitForTatChoker",
+    "SeedChoker",
+    "rotate_optimistic",
+    "seed_unchoke",
+]
+
+
+def rotate_optimistic(
+    optimistic_state: Dict[int, List[int]],
+    age_state: Dict[int, int],
+    peer_id: int,
+    pool: List[int],
+    rng: np.random.Generator,
+    slots: int,
+    period: int,
+) -> List[int]:
+    """One optimistic-unchoke rotation step for ``peer_id``.
+
+    Shared by :class:`TitForTatChoker` and the fast engine's
+    :class:`~repro.bittorrent.fast.choking.FastChokerState` so the two can
+    never drift: bit-identity across engines requires the exact same
+    random-stream consumption (one shuffle of the same candidate list).
+    State lives in the caller-owned ``optimistic_state`` / ``age_state``
+    dictionaries, keyed by peer id.
+    """
+    if slots == 0 or not pool:
+        optimistic_state[peer_id] = []
+        return []
+    current = [q for q in optimistic_state.get(peer_id, []) if q in pool]
+    age = age_state.get(peer_id, 0) + 1
+    if len(current) < slots or age >= period:
+        candidates = [q for q in pool if q not in current]
+        rng.shuffle(candidates)
+        if age >= period:
+            current = []
+            age = 0
+        current = (current + candidates)[:slots]
+    optimistic_state[peer_id] = current
+    age_state[peer_id] = age
+    return list(current)
+
+
+def seed_unchoke(
+    interested: Sequence[int], slots: int, rng: np.random.Generator
+) -> List[int]:
+    """The seed policy: a rotating random subset of the interested peers."""
+    pool = list(interested)
+    if not pool:
+        return []
+    rng.shuffle(pool)
+    return pool[:slots]
 
 
 @dataclass
@@ -119,22 +172,15 @@ class TitForTatChoker(ChokingPolicy):
     def _rotate_optimistic(
         self, peer_id: int, pool: List[int], rng: np.random.Generator
     ) -> List[int]:
-        if self.optimistic_slots == 0 or not pool:
-            self._optimistic[peer_id] = []
-            return []
-        current = [q for q in self._optimistic.get(peer_id, []) if q in pool]
-        age = self._age.get(peer_id, 0) + 1
-        if len(current) < self.optimistic_slots or age >= self.optimistic_period:
-            candidates = [q for q in pool if q not in current]
-            rng.shuffle(candidates)
-            needed = self.optimistic_slots - len(current) if age < self.optimistic_period else self.optimistic_slots
-            if age >= self.optimistic_period:
-                current = []
-                age = 0
-            current = (current + candidates)[: self.optimistic_slots]
-        self._optimistic[peer_id] = current
-        self._age[peer_id] = age
-        return list(current)
+        return rotate_optimistic(
+            self._optimistic,
+            self._age,
+            peer_id,
+            pool,
+            rng,
+            self.optimistic_slots,
+            self.optimistic_period,
+        )
 
 
 @dataclass
@@ -155,8 +201,4 @@ class SeedChoker(ChokingPolicy):
         rng: np.random.Generator,
     ) -> UnchokeDecision:
         del peer_id, received
-        pool = list(interested)
-        if not pool:
-            return UnchokeDecision()
-        rng.shuffle(pool)
-        return UnchokeDecision(optimistic=pool[: self.slots])
+        return UnchokeDecision(optimistic=seed_unchoke(interested, self.slots, rng))

@@ -1,0 +1,145 @@
+"""Batched Tit-for-Tat rechoke for the fast swarm engine.
+
+The regular (reciprocity) slots of *every* leecher are computed in one
+vectorized pass: all "q sent something to p last round and q is interested
+in p" edges are ranked with a single :func:`numpy.lexsort` by
+``(peer, -volume, partner id)`` -- exactly the reference
+:class:`~repro.bittorrent.choking.TitForTatChoker` ordering -- and each
+peer takes the head of its segment.
+
+The *optimistic* rotation cannot be batched without changing semantics:
+it consumes the shared random stream one ``shuffle`` per peer, in peer-id
+order, and bit-identity with the reference engine requires replaying those
+draws exactly.  :class:`FastChokerState` therefore mirrors the reference
+rotation logic (state keyed by peer id, same candidate lists in the same
+order) while receiving its regular slots pre-computed from the batched
+pass.  Equivalence is enforced by ``tests/test_swarm_engine_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.bittorrent.choking import rotate_optimistic, seed_unchoke
+
+__all__ = ["batched_regular_slots", "FastChokerState"]
+
+
+def batched_regular_slots(
+    edge_peer: np.ndarray,
+    edge_partner_id: np.ndarray,
+    received_edge: np.ndarray,
+    interested_edge: np.ndarray,
+    regular_slots: int,
+) -> Dict[int, List[int]]:
+    """Per-peer Tit-for-Tat slots from last round's received volumes.
+
+    Parameters
+    ----------
+    edge_peer:
+        Dense peer index owning each directed edge (CSR expansion).
+    edge_partner_id:
+        Peer *id* of the edge's partner (the unchoke candidate).
+    received_edge:
+        Kilobits the owning peer received from the partner last round.
+    interested_edge:
+        Whether the partner is an eligible unchoke target this round
+        (non-seed and interested in the owner's content).
+    regular_slots:
+        The paper's b0 -- slots granted per peer.
+
+    Returns
+    -------
+    Mapping of dense peer index to its regular-slot partner ids, best
+    contributor first, ties broken by ascending id -- byte-for-byte the
+    ordering of ``TitForTatChoker.select_unchoked``.
+    """
+    regular: Dict[int, List[int]] = {}
+    if regular_slots <= 0:
+        return regular
+    eligible = np.flatnonzero(interested_edge & (received_edge > 0.0))
+    if eligible.size == 0:
+        return regular
+    order = np.lexsort(
+        (edge_partner_id[eligible], -received_edge[eligible], edge_peer[eligible])
+    )
+    ranked = eligible[order]
+    peers = edge_peer[ranked]
+    partners = edge_partner_id[ranked]
+    boundaries = np.flatnonzero(np.r_[True, peers[1:] != peers[:-1]])
+    ends = np.r_[boundaries[1:], peers.size]
+    for start, end in zip(boundaries, ends):
+        take = min(regular_slots, end - start)
+        regular[int(peers[start])] = [int(q) for q in partners[start:start + take]]
+    return regular
+
+
+class FastChokerState:
+    """Optimistic-unchoke state for all leechers (and the seed policy).
+
+    Shares :func:`repro.bittorrent.choking.rotate_optimistic` /
+    :func:`~repro.bittorrent.choking.seed_unchoke` with the reference
+    chokers, so the random-stream consumption cannot drift between
+    engines; only the state layout differs (one dictionary for the whole
+    swarm instead of one choker object per peer).
+    """
+
+    def __init__(
+        self,
+        regular_slots: int,
+        optimistic_slots: int,
+        optimistic_period: int,
+        seed_slots: int,
+    ) -> None:
+        if regular_slots < 0:
+            raise ValueError("regular_slots cannot be negative")
+        if optimistic_slots < 0:
+            raise ValueError("optimistic_slots cannot be negative")
+        if optimistic_period <= 0:
+            raise ValueError("optimistic_period must be positive")
+        if seed_slots <= 0:
+            raise ValueError("a seed needs at least one unchoke slot")
+        self.regular_slots = regular_slots
+        self.optimistic_slots = optimistic_slots
+        self.optimistic_period = optimistic_period
+        self.seed_slots = seed_slots
+        self._optimistic: Dict[int, List[int]] = {}
+        self._age: Dict[int, int] = {}
+
+    def leecher_unchoke(
+        self,
+        peer_id: int,
+        interested: List[int],
+        regular: List[int],
+        rng: np.random.Generator,
+    ) -> Tuple[List[int], List[int]]:
+        """One leecher rechoke; ``regular`` comes from the batched pass."""
+        remaining = [q for q in interested if q not in regular]
+        optimistic = self._rotate_optimistic(peer_id, remaining, rng)
+        spare = self.regular_slots - len(regular)
+        if spare > 0:
+            extra_pool = [q for q in remaining if q not in optimistic]
+            rng.shuffle(extra_pool)
+            optimistic = optimistic + extra_pool[:spare]
+        return regular, optimistic
+
+    def seed_unchoke(
+        self, interested: List[int], rng: np.random.Generator
+    ) -> List[int]:
+        """The seed policy, via the shared reference implementation."""
+        return seed_unchoke(interested, self.seed_slots, rng)
+
+    def _rotate_optimistic(
+        self, peer_id: int, pool: List[int], rng: np.random.Generator
+    ) -> List[int]:
+        return rotate_optimistic(
+            self._optimistic,
+            self._age,
+            peer_id,
+            pool,
+            rng,
+            self.optimistic_slots,
+            self.optimistic_period,
+        )

@@ -1,0 +1,423 @@
+"""The vectorized swarm engine (``engine="fast"``).
+
+:class:`FastSwarmSimulator` replays :class:`repro.bittorrent.swarm.
+SwarmSimulator` round for round on flat arrays:
+
+* every bitfield lives in one packed-bit ``uint8`` matrix
+  (:class:`~repro.bittorrent.fast.bitfields.BitfieldMatrix`), so interest
+  tests are byte-wise ``AND``/``NOT`` over tracker edges instead of Python
+  set differences;
+* piece availability is one integer vector maintained incrementally, and
+  rarest-first selection is an ``argmin``-style mask over the wanted
+  indices;
+* the Tit-for-Tat slots of all peers are ranked in a single
+  :func:`numpy.lexsort` over the received-volume edge array
+  (:func:`~repro.bittorrent.fast.choking.batched_regular_slots`);
+* tracker announces are array-backed
+  (:class:`~repro.bittorrent.fast.tracker.FastTracker`).
+
+The engine is *bit-identical* to the reference simulator: it consumes the
+shared :class:`~repro.sim.random_source.RandomSource` streams draw for
+draw (same shuffles, same ``choice`` calls, in the same order), and the
+float accounting applies the same IEEE operations in the same sequence.
+``tests/test_swarm_engine_equivalence.py`` enforces the contract; the
+speedup (>= 5x at 5k leechers, gated by
+``benchmarks/bench_swarm_scaling.py``) comes purely from replacing
+per-piece Python set algebra with vectorized passes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.bittorrent.bandwidth import BandwidthDistribution, saroiu_like_distribution
+from repro.bittorrent.fast.bitfields import BitfieldMatrix
+from repro.bittorrent.fast.choking import FastChokerState, batched_regular_slots
+from repro.bittorrent.fast.tracker import FastTracker, build_neighbor_csr
+from repro.bittorrent.piece_selection import make_selector
+from repro.sim.random_source import RandomSource
+
+__all__ = ["FastSwarmSimulator"]
+
+
+class FastSwarmSimulator:
+    """Array-backed round simulator; see the module docstring.
+
+    Constructed with the same signature as the reference simulator (minus
+    ``engine``); normally reached through
+    ``SwarmSimulator(config, engine="fast")``.
+    """
+
+    def __init__(
+        self,
+        config,
+        *,
+        bandwidths: Optional[Sequence[float]] = None,
+        distribution: Optional[BandwidthDistribution] = None,
+        seed: int = 0,
+    ) -> None:
+        # Imported here to avoid a circular import with repro.bittorrent.swarm.
+        from repro.bittorrent.swarm import SwarmConfig
+
+        if not isinstance(config, SwarmConfig):
+            raise TypeError("config must be a SwarmConfig")
+        make_selector(config.piece_selection)  # validate the policy name
+        self.config = config
+        self.source = RandomSource(seed)
+        self.n = config.leechers + config.seeds
+        self._build_population(bandwidths, distribution)
+
+    # -- construction ------------------------------------------------------------
+
+    def _build_population(
+        self,
+        bandwidths: Optional[Sequence[float]],
+        distribution: Optional[BandwidthDistribution],
+    ) -> None:
+        config = self.config
+        n = self.n
+        rng = self.source.stream("bandwidth")
+        if bandwidths is not None:
+            sampled = np.asarray(list(bandwidths), dtype=float)
+            if sampled.shape[0] != config.leechers:
+                raise ValueError("bandwidths must have one entry per leecher")
+        else:
+            dist = distribution if distribution is not None else saroiu_like_distribution()
+            sampled = dist.sample(config.leechers, rng)
+        self.uploads: List[float] = [float(x) for x in sampled] + [
+            float(config.seed_upload_kbps)
+        ] * config.seeds
+        self.is_seed = np.zeros(n, dtype=bool)
+        self.is_seed[config.leechers:] = True
+
+        self.bitfields = BitfieldMatrix(n, config.piece_count)
+        bootstrap_rng = self.source.stream("bootstrap")
+        start_pieces = int(round(config.start_completion * config.piece_count))
+        for i in range(config.leechers):
+            if start_pieces:
+                self.bitfields.fill(
+                    i,
+                    bootstrap_rng.choice(
+                        config.piece_count, size=start_pieces, replace=False
+                    ),
+                )
+        for i in range(config.leechers, n):
+            self.bitfields.set_complete(i)
+
+        announce_rng = self.source.stream("tracker")
+        tracker = FastTracker(announce_size=config.announce_size)
+        # The Python neighbor sets are construction scaffolding only; the
+        # CSR arrays carry the adjacency from here on.
+        self.indptr, self.adj, _ = build_neighbor_csr(n, tracker, announce_rng)
+        self.edge_peer = np.repeat(
+            np.arange(n, dtype=np.int64), np.diff(self.indptr)
+        )
+        self.adj_pid = self.adj + 1
+        # Globally sorted (owner, partner) key: CSR segments are peer-ordered
+        # and id-sorted inside, so one searchsorted resolves any edge slot.
+        self.edge_key = self.edge_peer * n + self.adj
+        self.adj_nonseed = ~self.is_seed[self.adj]
+
+        self.counts = self.bitfields.availability()
+        self.chokers = FastChokerState(
+            regular_slots=config.regular_slots,
+            optimistic_slots=config.optimistic_slots,
+            optimistic_period=config.optimistic_period,
+            seed_slots=config.seed_slots,
+        )
+        self.downloaded: List[float] = [0.0] * n
+        self.uploaded: List[float] = [0.0] * n
+        self.partial: Dict[Tuple[int, int], float] = {}
+        self.completed_round: List[Optional[int]] = [None] * n
+        self.recv_edge = np.zeros(self.adj.shape[0], dtype=np.float64)
+        self._last_received: Dict[int, Dict[int, float]] = {}
+
+    # -- simulation ---------------------------------------------------------------
+
+    def run(self):
+        """Run the configured rounds; returns a reference ``SwarmResult``."""
+        from repro.bittorrent.swarm import SwarmResult
+
+        config = self.config
+        rng = self.source.stream("rounds")
+        collaboration: Dict[Tuple[int, int], float] = {}
+        tft_rounds: Dict[Tuple[int, int], float] = {}
+        leecher_complete = (
+            self.bitfields.have_count[: config.leechers] == config.piece_count
+        )
+        completed = int(leecher_complete.sum())
+        incomplete = config.leechers - completed
+
+        rounds_run = config.rounds
+        for round_index in range(1, config.rounds + 1):
+            transfers, regular_pairs = self._plan_round(rng)
+            self._record_reciprocal_tft(regular_pairs, tft_rounds, round_index)
+            newly, incomplete = self._apply_round(
+                transfers, collaboration, rng, round_index, incomplete
+            )
+            completed += newly
+            if incomplete == 0:
+                rounds_run = round_index
+                break
+        return SwarmResult(
+            config=config,
+            peers=self.materialize_peers(),
+            collaboration_volume=collaboration,
+            tft_reciprocal_rounds=tft_rounds,
+            completed=completed,
+            rounds_run=rounds_run,
+        )
+
+    def _interest_pass(self) -> np.ndarray:
+        """Directed per-edge interest: is the partner an unchoke target?
+
+        Edge (p -> q) is set when q is a non-seed that misses a piece p
+        holds -- the reference's ``is_interested_in`` test, vectorized.
+        Completed sources (seeds included) short-circuit to "q incomplete",
+        so late rounds cost almost nothing.
+        """
+        piece_count = self.config.piece_count
+        have = self.bitfields.have_count
+        candidate = self.adj_nonseed & (have[self.adj] < piece_count)
+        interested = np.zeros(self.adj.shape[0], dtype=bool)
+        src_complete = have[self.edge_peer] == piece_count
+        interested[candidate & src_complete] = True
+        rest = np.flatnonzero(candidate & ~src_complete)
+        if rest.size:
+            interested[rest] = self.bitfields.edge_interest(
+                self.edge_peer[rest], self.adj[rest]
+            )
+        return interested
+
+    def _plan_round(
+        self, rng: np.random.Generator
+    ) -> Tuple[List[Tuple[int, int, float]], Set[Tuple[int, int]]]:
+        """Decide unchokes; returns dense transfers and regular pid pairs."""
+        config = self.config
+        interested = self._interest_pass()
+        regular_map = batched_regular_slots(
+            self.edge_peer,
+            self.adj_pid,
+            self.recv_edge,
+            interested,
+            config.regular_slots,
+        )
+        transfers: List[Tuple[int, int, float]] = []
+        regular_pairs: Set[Tuple[int, int]] = set()
+        indptr = self.indptr
+        round_seconds = config.round_seconds
+        for i in range(self.n):
+            lo, hi = indptr[i], indptr[i + 1]
+            segment = interested[lo:hi]
+            if not segment.any():
+                continue
+            interested_ids = self.adj_pid[lo:hi][segment].tolist()
+            if self.is_seed[i]:
+                regular: List[int] = []
+                unchoked = self.chokers.seed_unchoke(interested_ids, rng)
+            else:
+                regular, optimistic = self.chokers.leecher_unchoke(
+                    i + 1, interested_ids, regular_map.get(i, []), rng
+                )
+                unchoked = regular + optimistic
+            if not unchoked:
+                continue
+            for target in regular:
+                regular_pairs.add((i + 1, target))
+            budget_kbit = self.uploads[i] * round_seconds
+            share = budget_kbit / len(unchoked)
+            for target in unchoked:
+                transfers.append((i, target - 1, share))
+        return transfers, regular_pairs
+
+    def _record_reciprocal_tft(
+        self,
+        regular_pairs: Set[Tuple[int, int]],
+        tft_rounds: Dict[Tuple[int, int], float],
+        round_index: int,
+    ) -> None:
+        if round_index <= self.config.warmup_rounds:
+            return
+        for sender, target in regular_pairs:
+            if sender < target and (target, sender) in regular_pairs:
+                key = (sender, target)
+                tft_rounds[key] = tft_rounds.get(key, 0.0) + 1.0
+
+    def _acquire_pieces(
+        self,
+        receiver: int,
+        wanted_idx: np.ndarray,
+        credit: float,
+        rng: np.random.Generator,
+    ) -> Tuple[float, int]:
+        """Convert ``credit`` kilobits into pieces; returns (credit, gained).
+
+        The reference loop re-picks from the live wanted set each piece,
+        but within one transfer the availability of the *remaining* wanted
+        pieces never changes (only the chosen piece's count moves, and it
+        leaves the set).  Rarest-first therefore pre-sorts the wanted
+        pieces into rarity tiers once and consumes them tier by tier; each
+        pick is one bounded-integer draw, which is exactly what
+        ``Generator.choice`` consumes, so the random stream stays
+        draw-for-draw identical to the reference selectors.
+        """
+        piece_size = self.config.piece_size_kbit
+        policy = self.config.piece_selection
+        taken: List[int] = []
+
+        if policy == "rarest-first":
+            avail = self.counts[wanted_idx]
+            order = np.lexsort((wanted_idx, avail))
+            queue = wanted_idx[order].tolist()
+            tier_counts = avail[order].tolist()
+            total = len(queue)
+            position = 0
+            tier: List[int] = []
+            while credit >= piece_size and (tier or position < total):
+                if not tier:
+                    level = tier_counts[position]
+                    end = position
+                    while end < total and tier_counts[end] == level:
+                        end += 1
+                    tier = queue[position:end]
+                    position = end
+                taken.append(tier.pop(rng.integers(0, len(tier))))
+                credit -= piece_size
+        elif policy == "random":
+            pool = wanted_idx.tolist()
+            while credit >= piece_size and pool:
+                taken.append(pool.pop(rng.integers(0, len(pool))))
+                credit -= piece_size
+        else:  # sequential: lowest index first, no randomness
+            pool = wanted_idx.tolist()
+            position = 0
+            while credit >= piece_size and position < len(pool):
+                taken.append(pool[position])
+                position += 1
+                credit -= piece_size
+
+        gained = len(taken)
+        if gained:
+            # The loop above never re-reads bitfield or availability state
+            # (tiers are fixed per transfer), so the mutations batch.
+            idx = np.asarray(taken, dtype=np.int64)
+            packed_row = self.bitfields.packed[receiver]
+            np.bitwise_or.at(
+                packed_row, idx >> 3, (0x80 >> (idx & 7)).astype(np.uint8)
+            )
+            self.counts[idx] += 1
+            self.bitfields.have_count[receiver] += gained
+        return credit, gained
+
+    def _apply_round(
+        self,
+        transfers: List[Tuple[int, int, float]],
+        collaboration: Dict[Tuple[int, int], float],
+        rng: np.random.Generator,
+        round_index: int,
+        incomplete: int,
+    ) -> Tuple[int, int]:
+        """Turn transfers into pieces; returns (newly completed, incomplete)."""
+        config = self.config
+        piece_size = config.piece_size_kbit
+        piece_count = config.piece_count
+        bitfields = self.bitfields
+        have = bitfields.have_count
+        partial = self.partial
+        uploaded = self.uploaded
+        downloaded = self.downloaded
+        received_now: Dict[int, Dict[int, float]] = {}
+        newly_completed = 0
+
+        for sender, receiver, volume_kbit in transfers:
+            if have[receiver] == piece_count:
+                continue  # a complete receiver wants nothing
+            wanted_bytes = bitfields.wanted_bytes(sender, receiver)
+            if not wanted_bytes.any():
+                continue
+            uploaded[sender] += volume_kbit
+            downloaded[receiver] += volume_kbit
+            by_sender = received_now.setdefault(receiver + 1, {})
+            by_sender[sender + 1] = by_sender.get(sender + 1, 0.0) + volume_kbit
+            key = (
+                (sender + 1, receiver + 1)
+                if sender < receiver
+                else (receiver + 1, sender + 1)
+            )
+            collaboration[key] = collaboration.get(key, 0.0) + volume_kbit
+
+            credit = partial.get((receiver, sender), 0.0) + volume_kbit
+            if credit >= piece_size:
+                wanted_idx = bitfields.indices(wanted_bytes)
+                credit, gained = self._acquire_pieces(
+                    receiver, wanted_idx, credit, rng
+                )
+                if (
+                    gained
+                    and have[receiver] == piece_count
+                    and self.completed_round[receiver] is None
+                ):
+                    self.completed_round[receiver] = round_index
+                    newly_completed += 1
+                    incomplete -= 1
+            partial[(receiver, sender)] = credit
+
+        self._store_received(received_now)
+        return newly_completed, incomplete
+
+    def _store_received(self, received_now: Dict[int, Dict[int, float]]) -> None:
+        """Project this round's receipts onto the edge array for the rechoke."""
+        self._last_received = received_now
+        self.recv_edge.fill(0.0)
+        if not received_now:
+            return
+        receivers: List[int] = []
+        senders: List[int] = []
+        volumes: List[float] = []
+        for receiver_pid, by_sender in received_now.items():
+            for sender_pid, volume in by_sender.items():
+                receivers.append(receiver_pid - 1)
+                senders.append(sender_pid - 1)
+                volumes.append(volume)
+        keys = (
+            np.asarray(receivers, dtype=np.int64) * self.n
+            + np.asarray(senders, dtype=np.int64)
+        )
+        positions = np.searchsorted(self.edge_key, keys)
+        self.recv_edge[positions] = np.asarray(volumes, dtype=np.float64)
+
+    # -- materialization ----------------------------------------------------------
+
+    def materialize_peers(self) -> Dict[int, "SwarmPeer"]:
+        """Rebuild reference ``SwarmPeer`` objects from the arrays.
+
+        Each call returns a fresh snapshot of the *current* simulation
+        state (initial population before :meth:`run`, final state after);
+        this is what backs ``SwarmSimulator.peers`` in fast mode.
+        """
+        from repro.bittorrent.swarm import SwarmPeer
+
+        partial_by_receiver: Dict[int, Dict[int, float]] = {}
+        for (receiver, sender), credit in self.partial.items():
+            partial_by_receiver.setdefault(receiver, {})[sender + 1] = credit
+
+        peers: Dict[int, SwarmPeer] = {}
+        for i in range(self.n):
+            pid = i + 1
+            peers[pid] = SwarmPeer(
+                peer_id=pid,
+                upload_kbps=self.uploads[i],
+                is_seed=bool(self.is_seed[i]),
+                bitfield=self.bitfields.to_bitfield(i),
+                neighbors=set(
+                    self.adj_pid[self.indptr[i]:self.indptr[i + 1]].tolist()
+                ),
+                downloaded_kbit=self.downloaded[i],
+                uploaded_kbit=self.uploaded[i],
+                partial_kbit=partial_by_receiver.get(i, {}),
+                received_last_round=self._last_received.get(pid, {}),
+                completed_round=self.completed_round[i],
+            )
+        return peers

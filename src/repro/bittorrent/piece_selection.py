@@ -53,7 +53,13 @@ class PieceSelector(ABC):
 
 
 class RarestFirstSelector(PieceSelector):
-    """Pick the globally rarest piece among the wanted ones (ties random)."""
+    """Pick the globally rarest piece among the wanted ones (ties random).
+
+    The tie-break pool is built in ascending piece order.  Iterating the
+    ``wanted`` set directly would make the ``rng.choice`` outcome depend on
+    CPython's set iteration order -- an implementation detail that varies
+    across interpreters and that no other engine could reproduce.
+    """
 
     name = "rarest-first"
 
@@ -65,8 +71,9 @@ class RarestFirstSelector(PieceSelector):
     ) -> Optional[int]:
         if not wanted:
             return None
-        rarity = min(availability[piece] for piece in wanted)
-        rarest = [piece for piece in wanted if availability[piece] == rarity]
+        ordered = sorted(wanted)
+        rarity = min(availability[piece] for piece in ordered)
+        rarest = [piece for piece in ordered if availability[piece] == rarity]
         return int(rng.choice(rarest))
 
 

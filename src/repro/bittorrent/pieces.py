@@ -8,7 +8,8 @@ progress within a round is accumulated by the swarm simulator).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import InitVar, dataclass
 from typing import Iterable, Iterator, List, Optional, Set
 
 import numpy as np
@@ -24,27 +25,71 @@ class Torrent:
     ----------
     piece_count:
         Number of pieces.
-    piece_size_kb:
-        Size of one piece in kilobits (so that rates in kbps divide evenly).
+    piece_size_kbit:
+        Size of one piece in kilobits, so that upload capacities in kbps
+        divide evenly (``piece_size_kbit / upload_kbps`` is seconds).  The
+        old ``piece_size_kb`` spelling is accepted as a deprecated alias --
+        the unit was always kilobits, only the name was ambiguous.
     """
 
     piece_count: int
-    piece_size_kb: float = 256.0
+    piece_size_kbit: float = 256.0
+    piece_size_kb: InitVar[Optional[float]] = None
 
-    def __post_init__(self) -> None:
+    def __post_init__(self, piece_size_kb: Optional[float]) -> None:
+        if piece_size_kb is not None:
+            if self.piece_size_kbit != type(self).piece_size_kbit:
+                raise TypeError(
+                    "pass piece_size_kbit or the deprecated piece_size_kb, "
+                    "not both"
+                )
+            warnings.warn(
+                "piece_size_kb is deprecated (the unit is kilobits); "
+                "use piece_size_kbit",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            object.__setattr__(self, "piece_size_kbit", piece_size_kb)
         if self.piece_count <= 0:
             raise ValueError("a torrent needs at least one piece")
-        if self.piece_size_kb <= 0:
+        if self.piece_size_kbit <= 0:
             raise ValueError("piece size must be positive")
+
+    def __getattr__(self, name: str):
+        if name == "piece_size_kb":
+            warnings.warn(
+                "piece_size_kb is deprecated; use piece_size_kbit",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            return self.piece_size_kbit
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
+    @property
+    def total_size_kbit(self) -> float:
+        """Total content size in kilobits."""
+        return self.piece_count * self.piece_size_kbit
 
     @property
     def total_size_kb(self) -> float:
-        """Total content size in kilobits."""
-        return self.piece_count * self.piece_size_kb
+        """Deprecated alias of :attr:`total_size_kbit`."""
+        warnings.warn(
+            "total_size_kb is deprecated; use total_size_kbit",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.total_size_kbit
 
     def pieces(self) -> range:
         """Iterator over piece indices."""
         return range(self.piece_count)
+
+
+# The InitVar default survives as a class attribute, which would shadow the
+# __getattr__ deprecation shim; the generated __init__ keeps its own copy.
+del Torrent.piece_size_kb
 
 
 class Bitfield:
@@ -63,6 +108,21 @@ class Bitfield:
     def complete(cls, piece_count: int) -> "Bitfield":
         """A bitfield holding every piece (a seed)."""
         return cls(piece_count, range(piece_count))
+
+    @classmethod
+    def from_indices(cls, piece_count: int, have: Iterable[int]) -> "Bitfield":
+        """Build a bitfield from trusted indices with one bulk bounds check.
+
+        Unlike the element-wise constructor this validates the range once,
+        which is what lets the fast engine materialize 100k bitfields
+        without a per-piece Python call.
+        """
+        bitfield = cls(piece_count)
+        held = set(have)
+        if held and not (0 <= min(held) and max(held) < piece_count):
+            raise IndexError(f"piece indices outside 0..{piece_count - 1}")
+        bitfield._have = held
+        return bitfield
 
     @classmethod
     def empty(cls, piece_count: int) -> "Bitfield":

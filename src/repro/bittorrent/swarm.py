@@ -16,15 +16,27 @@ BitTorrent time).  In each round every peer:
 3. the receiving side accumulates the transferred volume and converts it
    into pieces chosen rarest-first from the sender's bitfield.
 
+All volumes are measured in **kilobits** (so that upload capacities in kbps
+convert directly: one round moves ``upload_kbps * round_seconds`` kilobits).
+
 The output records per-peer download rates and the realised collaboration
 graph, from which :func:`stratification_index` measures how strongly peers
 pair with partners of similar bandwidth rank -- the empirical counterpart of
 the matching model's stratification result.
+
+Like :class:`repro.core.dynamics.ConvergenceSimulator`, the simulator takes
+an ``engine`` switch: ``"reference"`` (this module, dictionaries and sets,
+the correctness oracle) or ``"fast"`` (the packed-bit array engine in
+:mod:`repro.bittorrent.fast`).  Both engines consume the shared random
+streams draw-for-draw and produce bit-identical :class:`SwarmResult`\\ s for
+the same seed; the contract is enforced by
+``tests/test_swarm_engine_equivalence.py``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import InitVar, dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -34,6 +46,7 @@ from repro.bittorrent.choking import SeedChoker, TitForTatChoker
 from repro.bittorrent.pieces import Bitfield, Torrent
 from repro.bittorrent.piece_selection import PieceSelector, make_selector, piece_availability
 from repro.bittorrent.tracker import Tracker
+from repro.core.exceptions import validate_engine
 from repro.sim.random_source import RandomSource
 
 __all__ = ["SwarmConfig", "SwarmPeer", "SwarmResult", "SwarmSimulator", "stratification_index"]
@@ -51,8 +64,9 @@ class SwarmConfig:
         Number of initial seeds.
     piece_count:
         Number of pieces in the torrent.
-    piece_size_kb:
-        Piece size in kilobits.
+    piece_size_kbit:
+        Piece size in kilobits.  (``piece_size_kb`` is accepted as a
+        deprecated constructor alias; the unit was always kilobits.)
     regular_slots:
         Tit-for-Tat slots per leecher (the paper's b0, default 3).
     optimistic_slots:
@@ -64,7 +78,8 @@ class SwarmConfig:
     rounds:
         Number of rechoke rounds to simulate.
     round_seconds:
-        Real-time duration of one round (used to convert kbps to kb/round).
+        Real-time duration of one round (used to convert kbps to
+        kilobits per round).
     piece_selection:
         Piece selection policy name.
     start_completion:
@@ -76,12 +91,15 @@ class SwarmConfig:
     warmup_rounds:
         Rounds excluded from the reciprocal-TFT statistics (the initial
         discovery phase, where unchokes are still mostly optimistic).
+    optimistic_period:
+        Rechoke rounds an optimistic unchoke is kept before rotation
+        (BitTorrent uses 3 x 10 s, so the default is 3 rounds).
     """
 
     leechers: int = 60
     seeds: int = 2
     piece_count: int = 800
-    piece_size_kb: float = 256.0
+    piece_size_kbit: float = 256.0
     regular_slots: int = 3
     optimistic_slots: int = 1
     seed_slots: int = 4
@@ -92,8 +110,23 @@ class SwarmConfig:
     start_completion: float = 0.3
     seed_upload_kbps: float = 5000.0
     warmup_rounds: int = 5
+    optimistic_period: int = 3
+    piece_size_kb: InitVar[Optional[float]] = None
 
-    def __post_init__(self) -> None:
+    def __post_init__(self, piece_size_kb: Optional[float]) -> None:
+        if piece_size_kb is not None:
+            if self.piece_size_kbit != type(self).piece_size_kbit:
+                raise TypeError(
+                    "pass piece_size_kbit or the deprecated piece_size_kb, "
+                    "not both"
+                )
+            warnings.warn(
+                "SwarmConfig.piece_size_kb is deprecated (the unit is "
+                "kilobits); use piece_size_kbit",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            self.piece_size_kbit = piece_size_kb
         if self.leechers <= 1:
             raise ValueError("need at least two leechers")
         if self.seeds < 0:
@@ -104,28 +137,64 @@ class SwarmConfig:
             raise ValueError("start_completion must be in [0, 1)")
         if self.warmup_rounds < 0:
             raise ValueError("warmup_rounds cannot be negative")
+        if self.optimistic_period <= 0:
+            raise ValueError("optimistic_period must be positive")
+
+    def __getattr__(self, name: str):
+        if name == "piece_size_kb":
+            warnings.warn(
+                "SwarmConfig.piece_size_kb is deprecated; use piece_size_kbit",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            return self.piece_size_kbit
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
+
+# The InitVar default survives as a class attribute, which would shadow the
+# __getattr__ deprecation shim; the generated __init__ keeps its own copy.
+del SwarmConfig.piece_size_kb
+
+
+def _deprecated_kb_property(new_name: str):
+    def getter(self):
+        warnings.warn(
+            f"SwarmPeer.{new_name[:-5]}_kb is deprecated; use {new_name}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(self, new_name)
+
+    getter.__doc__ = f"Deprecated alias of :attr:`{new_name}`."
+    return property(getter)
 
 
 @dataclass
 class SwarmPeer:
-    """Dynamic state of one peer in the swarm."""
+    """Dynamic state of one peer in the swarm (volumes in kilobits)."""
 
     peer_id: int
     upload_kbps: float
     is_seed: bool
     bitfield: Bitfield
     neighbors: Set[int] = field(default_factory=set)
-    downloaded_kb: float = 0.0
-    uploaded_kb: float = 0.0
-    partial_kb: Dict[int, float] = field(default_factory=dict)
+    downloaded_kbit: float = 0.0
+    uploaded_kbit: float = 0.0
+    partial_kbit: Dict[int, float] = field(default_factory=dict)
     received_last_round: Dict[int, float] = field(default_factory=dict)
     completed_round: Optional[int] = None
+
+    downloaded_kb = _deprecated_kb_property("downloaded_kbit")
+    uploaded_kb = _deprecated_kb_property("uploaded_kbit")
+    partial_kb = _deprecated_kb_property("partial_kbit")
 
     def download_rate_kbps(self, rounds: int, round_seconds: float) -> float:
         """Average download rate over the simulated horizon."""
         horizon = (self.completed_round if self.completed_round is not None else rounds)
         horizon = max(1, horizon)
-        return self.downloaded_kb / (horizon * round_seconds)
+        return self.downloaded_kbit / (horizon * round_seconds)
 
 
 @dataclass
@@ -160,13 +229,31 @@ class SwarmResult:
         """Downloaded / uploaded volume per leecher (the BitTorrent share ratio)."""
         ratios = {}
         for peer in self.leechers():
-            uploaded = max(peer.uploaded_kb, 1e-9)
-            ratios[peer.peer_id] = peer.downloaded_kb / uploaded
+            uploaded = max(peer.uploaded_kbit, 1e-9)
+            ratios[peer.peer_id] = peer.downloaded_kbit / uploaded
         return ratios
 
 
 class SwarmSimulator:
-    """Drives a round-based Tit-for-Tat swarm."""
+    """Drives a round-based Tit-for-Tat swarm.
+
+    Parameters
+    ----------
+    config:
+        Swarm parameters.
+    bandwidths:
+        Explicit leecher upload capacities (kbps); sampled from
+        ``distribution`` when omitted.
+    distribution:
+        Bandwidth distribution to sample from (Saroiu-style by default).
+    seed:
+        Master seed of the shared :class:`~repro.sim.random_source.RandomSource`.
+    engine:
+        ``"reference"`` (default) for this dictionary implementation,
+        ``"fast"`` for the packed-bit array engine in
+        :mod:`repro.bittorrent.fast.swarm`.  Both are bit-identical for
+        the same seed.
+    """
 
     def __init__(
         self,
@@ -175,15 +262,39 @@ class SwarmSimulator:
         bandwidths: Optional[Sequence[float]] = None,
         distribution: Optional[BandwidthDistribution] = None,
         seed: int = 0,
+        engine: str = "reference",
     ) -> None:
+        validate_engine(engine)
         self.config = config
+        self.engine = engine
         self.source = RandomSource(seed)
-        self.torrent = Torrent(config.piece_count, config.piece_size_kb)
+        self.torrent = Torrent(config.piece_count, config.piece_size_kbit)
+        if engine == "fast":
+            from repro.bittorrent.fast.swarm import FastSwarmSimulator
+
+            self._fast: Optional[FastSwarmSimulator] = FastSwarmSimulator(
+                config, bandwidths=bandwidths, distribution=distribution, seed=seed
+            )
+            return
+        self._fast = None
         self.selector: PieceSelector = make_selector(config.piece_selection)
         self.tracker = Tracker(announce_size=config.announce_size)
         self._chokers: Dict[int, TitForTatChoker | SeedChoker] = {}
         self.peers: Dict[int, SwarmPeer] = {}
         self._build_population(bandwidths, distribution)
+
+    def __getattr__(self, name: str):
+        # In fast mode ``peers`` is materialized from the arrays on demand
+        # (a fresh snapshot of the current state, initial before run() and
+        # final after), keeping the public surface engine-independent.
+        # ``tracker``/``selector`` remain reference-engine internals.
+        if name == "peers":
+            fast = self.__dict__.get("_fast")
+            if fast is not None:
+                return fast.materialize_peers()
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
 
     # -- construction ------------------------------------------------------------
 
@@ -224,6 +335,7 @@ class SwarmSimulator:
             self._chokers[peer_id] = TitForTatChoker(
                 regular_slots=config.regular_slots,
                 optimistic_slots=config.optimistic_slots,
+                optimistic_period=config.optimistic_period,
             )
         for _ in range(config.seeds):
             peer_id += 1
@@ -246,6 +358,8 @@ class SwarmSimulator:
 
     def run(self) -> SwarmResult:
         """Run the configured number of rounds and return the results."""
+        if self._fast is not None:
+            return self._fast.run()
         config = self.config
         rng = self.source.stream("rounds")
         collaboration: Dict[Tuple[int, int], float] = {}
@@ -272,7 +386,7 @@ class SwarmSimulator:
     def _plan_round(
         self, rng: np.random.Generator
     ) -> Tuple[Dict[Tuple[int, int], float], Set[Tuple[int, int]]]:
-        """Decide unchokes and the kb each peer pushes to each partner.
+        """Decide unchokes and the kilobits each peer pushes to each partner.
 
         Returns the planned transfers and the set of directed (sender,
         target) pairs granted a *regular* Tit-for-Tat slot this round.
@@ -297,8 +411,8 @@ class SwarmSimulator:
                 continue
             for target in decision.regular:
                 regular_pairs.add((peer.peer_id, target))
-            budget_kb = peer.upload_kbps * config.round_seconds
-            share = budget_kb / len(unchoked)
+            budget_kbit = peer.upload_kbps * config.round_seconds
+            share = budget_kbit / len(unchoked)
             for target in unchoked:
                 transfers[(peer.peer_id, target)] = share
         return transfers, regular_pairs
@@ -335,23 +449,23 @@ class SwarmSimulator:
         received_now: Dict[int, Dict[int, float]] = {pid: {} for pid in self.peers}
         newly_completed = 0
 
-        for (sender_id, receiver_id), volume_kb in transfers.items():
+        for (sender_id, receiver_id), volume_kbit in transfers.items():
             sender = self.peers[sender_id]
             receiver = self.peers[receiver_id]
             wanted = receiver.bitfield.interesting_pieces(sender.bitfield)
             if not wanted:
                 continue
-            sender.uploaded_kb += volume_kb
-            receiver.downloaded_kb += volume_kb
+            sender.uploaded_kbit += volume_kbit
+            receiver.downloaded_kbit += volume_kbit
             received_now[receiver_id][sender_id] = (
-                received_now[receiver_id].get(sender_id, 0.0) + volume_kb
+                received_now[receiver_id].get(sender_id, 0.0) + volume_kbit
             )
             key = (min(sender_id, receiver_id), max(sender_id, receiver_id))
-            collaboration[key] = collaboration.get(key, 0.0) + volume_kb
+            collaboration[key] = collaboration.get(key, 0.0) + volume_kbit
 
             # Convert the received volume into whole pieces, rarest first.
-            credit = receiver.partial_kb.get(sender_id, 0.0) + volume_kb
-            while credit >= self.config.piece_size_kb:
+            credit = receiver.partial_kbit.get(sender_id, 0.0) + volume_kbit
+            while credit >= self.config.piece_size_kbit:
                 wanted = receiver.bitfield.interesting_pieces(sender.bitfield)
                 if not wanted:
                     break
@@ -360,11 +474,11 @@ class SwarmSimulator:
                     break
                 receiver.bitfield.add(piece)
                 availability[piece] += 1
-                credit -= self.config.piece_size_kb
+                credit -= self.config.piece_size_kbit
                 if receiver.bitfield.is_complete() and receiver.completed_round is None:
                     receiver.completed_round = round_index
                     newly_completed += 1
-            receiver.partial_kb[sender_id] = credit
+            receiver.partial_kbit[sender_id] = credit
 
         for pid, received in received_now.items():
             self.peers[pid].received_last_round = received

@@ -7,12 +7,14 @@ series summary.  ``repro-p2p list`` shows the available experiment names.
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from typing import Callable, Dict, Optional, Sequence
 
 import numpy as np
 
 from repro import experiments
+from repro.core.exceptions import ENGINES
 from repro.sim.results import ResultTable
 
 __all__ = ["main", "build_parser"]
@@ -84,7 +86,28 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--seed", type=int, default=0, help="base random seed (where applicable)"
     )
+    parser.add_argument(
+        "--engine",
+        choices=sorted(ENGINES),
+        default="reference",
+        help=(
+            "simulation backend for the engine-aware experiments "
+            "(figure1/2/3/6, table1, swarm): 'reference' is the validated "
+            "oracle, 'fast' the bit-identical vectorized engine"
+        ),
+    )
     return parser
+
+
+def _runner_kwargs(runner: Callable[..., object], args: argparse.Namespace) -> Dict[str, object]:
+    """Thread only the CLI options the experiment driver actually accepts."""
+    parameters = inspect.signature(runner).parameters
+    kwargs: Dict[str, object] = {}
+    if "seed" in parameters:
+        kwargs["seed"] = args.seed
+    if "engine" in parameters:
+        kwargs["engine"] = args.engine
+    return kwargs
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -101,10 +124,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for name in names:
         print(f"### {name}")
         runner = _EXPERIMENTS[name]
-        try:
-            result = runner(seed=args.seed)  # type: ignore[call-arg]
-        except TypeError:
-            result = runner()
+        result = runner(**_runner_kwargs(runner, args))
         _print_result(result)
         print()
     return 0

@@ -371,12 +371,15 @@ def swarm_stratification_experiment(
     rounds: int = 80,
     piece_count: int = 600,
     seed: int = 0,
+    engine: str = "reference",
 ) -> Dict[str, float]:
     """End-to-end check that a TFT swarm stratifies by bandwidth (Section 6).
 
     Runs the full swarm simulator with a moderately heterogeneous bandwidth
     population and reports the reciprocal-TFT stratification index together
     with the correlation between upload capacity and achieved download rate.
+    Pass ``engine="fast"`` (bit-identical results) for thousands of
+    leechers and beyond.
     """
     rng = np.random.default_rng(seed)
     bandwidths = np.exp(rng.uniform(np.log(100.0), np.log(2000.0), leechers))
@@ -388,7 +391,7 @@ def swarm_stratification_experiment(
         start_completion=0.25,
         seed_upload_kbps=2000.0,
     )
-    simulator = SwarmSimulator(config, bandwidths=bandwidths, seed=seed)
+    simulator = SwarmSimulator(config, bandwidths=bandwidths, seed=seed, engine=engine)
     result = simulator.run()
     rates = result.download_rates()
     ids = sorted(rates)

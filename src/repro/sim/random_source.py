@@ -85,10 +85,14 @@ class RandomSource:
         """
         return RandomSource(derive_seed(self._seed, name))
 
-    def choice(self, name: str, items: Sequence, size: Optional[int] = None):
-        """Convenience wrapper around ``stream(name).choice``."""
+    def choice(self, name: str, items: Sequence, size: Optional[int] = None, *, replace: bool = True):
+        """Convenience wrapper around ``stream(name).choice``.
+
+        ``replace=False`` draws without replacement (tracker-announce-style
+        subsets); previously the wrapper silently forced replacement.
+        """
         rng = self.stream(name)
-        return rng.choice(items, size=size)
+        return rng.choice(items, size=size, replace=replace)
 
     def shuffled(self, name: str, items: Iterable) -> list:
         """Return a shuffled copy of ``items`` using the named stream."""

@@ -19,15 +19,28 @@ from repro.bittorrent.tracker import Tracker
 
 class TestTorrentAndBitfield:
     def test_torrent_size(self):
-        torrent = Torrent(piece_count=10, piece_size_kb=100.0)
-        assert torrent.total_size_kb == 1000.0
+        torrent = Torrent(piece_count=10, piece_size_kbit=100.0)
+        assert torrent.total_size_kbit == 1000.0
         assert list(torrent.pieces()) == list(range(10))
 
     def test_torrent_validation(self):
         with pytest.raises(ValueError):
             Torrent(0)
         with pytest.raises(ValueError):
+            Torrent(10, piece_size_kbit=0)
+
+    def test_deprecated_kb_aliases(self):
+        with pytest.warns(DeprecationWarning):
+            torrent = Torrent(piece_count=10, piece_size_kb=100.0)
+        assert torrent.piece_size_kbit == 100.0
+        with pytest.warns(DeprecationWarning):
+            assert torrent.piece_size_kb == 100.0
+        with pytest.warns(DeprecationWarning):
+            assert torrent.total_size_kb == 1000.0
+        with pytest.raises(ValueError), pytest.warns(DeprecationWarning):
             Torrent(10, piece_size_kb=0)
+        with pytest.raises(TypeError):
+            Torrent(10, piece_size_kbit=512.0, piece_size_kb=256.0)
 
     def test_bitfield_complete_and_empty(self):
         seed = Bitfield.complete(5)

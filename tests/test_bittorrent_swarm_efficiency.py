@@ -172,9 +172,18 @@ class TestSwarmSimulator:
         assert slow > fast
 
     def test_volume_conservation(self, swarm_result):
-        uploaded = sum(p.uploaded_kb for p in swarm_result.peers.values())
-        downloaded = sum(p.downloaded_kb for p in swarm_result.peers.values())
+        uploaded = sum(p.uploaded_kbit for p in swarm_result.peers.values())
+        downloaded = sum(p.downloaded_kbit for p in swarm_result.peers.values())
         assert uploaded == pytest.approx(downloaded, rel=1e-9)
+
+    def test_deprecated_peer_volume_aliases(self, swarm_result):
+        peer = swarm_result.leechers()[0]
+        with pytest.warns(DeprecationWarning):
+            assert peer.downloaded_kb == peer.downloaded_kbit
+        with pytest.warns(DeprecationWarning):
+            assert peer.uploaded_kb == peer.uploaded_kbit
+        with pytest.warns(DeprecationWarning):
+            assert peer.partial_kb is peer.partial_kbit
 
     def test_config_validation(self):
         with pytest.raises(ValueError):
@@ -194,7 +203,7 @@ class TestSwarmSimulator:
             leechers=10, seeds=0, piece_count=50, rounds=30, start_completion=0.5
         )
         result = SwarmSimulator(config, seed=7).run()
-        total_downloaded = sum(p.downloaded_kb for p in result.leechers())
+        total_downloaded = sum(p.downloaded_kbit for p in result.leechers())
         assert total_downloaded > 0
 
 

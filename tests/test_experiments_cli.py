@@ -105,3 +105,55 @@ class TestCLI:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["figure99"])
+
+
+class TestCLIEngineFlag:
+    def test_parser_accepts_engine(self):
+        parser = build_parser()
+        args = parser.parse_args(["figure1", "--engine", "fast"])
+        assert args.engine == "fast"
+        assert parser.parse_args(["figure1"]).engine == "reference"
+
+    def test_parser_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure1", "--engine", "warp"])
+
+    def test_engine_fast_reaches_fast_swarm_engine(self, capsys, monkeypatch):
+        import repro.bittorrent.fast.swarm as fast_swarm
+
+        calls = []
+        original = fast_swarm.FastSwarmSimulator.run
+
+        def spy(self):
+            calls.append(type(self).__name__)
+            return original(self)
+
+        monkeypatch.setattr(fast_swarm.FastSwarmSimulator, "run", spy)
+        assert main(["swarm", "--engine", "fast"]) == 0
+        assert calls == ["FastSwarmSimulator"]
+        assert "stratification_index" in capsys.readouterr().out
+
+    def test_engine_fast_reaches_fast_convergence_engine(self, monkeypatch):
+        from repro.core.fast import dynamics as fast_dynamics
+
+        class Reached(Exception):
+            pass
+
+        def boom(self, **kwargs):
+            raise Reached
+
+        monkeypatch.setattr(fast_dynamics.FastConvergenceSimulator, "run", boom)
+        with pytest.raises(Reached):
+            main(["figure1", "--engine", "fast"])
+        # The churn command threads the flag too (its fast path runs
+        # through the churn-specific array engine, not the simulator).
+        from repro.core import churn as churn_module
+
+        monkeypatch.setattr(churn_module._FastChurnEngine, "refresh", boom)
+        with pytest.raises(Reached):
+            main(["figure3", "--engine", "fast"])
+
+    def test_engine_flag_ignored_by_engineless_experiments(self, capsys):
+        # figure7 is purely analytical; the flag must not break it.
+        assert main(["figure7", "--engine", "fast"]) == 0
+        assert "Figure 7" in capsys.readouterr().out

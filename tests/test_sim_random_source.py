@@ -81,3 +81,9 @@ class TestRandomSource:
         a = RandomSource(9).choice("pick", list(range(100)))
         b = RandomSource(9).choice("pick", list(range(100)))
         assert a == b
+
+    def test_choice_without_replacement(self):
+        drawn = RandomSource(9).choice("pick", list(range(10)), size=10, replace=False)
+        assert sorted(int(x) for x in drawn) == list(range(10))
+        with_replacement = RandomSource(9).choice("pick", list(range(3)), size=50)
+        assert len(set(int(x) for x in with_replacement)) <= 3

@@ -1,0 +1,353 @@
+"""Fast swarm engine vs reference swarm simulator: the reference is the oracle.
+
+Mirrors ``tests/test_engine_equivalence.py`` for the BitTorrent layer: under
+a shared seed the packed-bit array engine must reproduce the reference
+:class:`~repro.bittorrent.swarm.SwarmSimulator` *bit for bit* -- every
+bitfield, every float of transfer accounting, every reciprocated-TFT count,
+every completion round.  The suite also pins down swarm determinism (same
+config + seed => same result, run to run) and exercises the corners the
+batched engine could plausibly get wrong: optimistic-unchoke rotation
+periods, warmup-round boundaries, zero regular slots, seedless swarms and
+all three piece-selection policies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bittorrent.fast.bitfields import BitfieldMatrix
+from repro.bittorrent.fast.choking import batched_regular_slots
+from repro.bittorrent.fast.swarm import FastSwarmSimulator
+from repro.bittorrent.fast.tracker import FastTracker
+from repro.bittorrent.swarm import (
+    SwarmConfig,
+    SwarmResult,
+    SwarmSimulator,
+    stratification_index,
+)
+from repro.bittorrent.tracker import Tracker
+from repro.core.exceptions import ModelError
+from repro.sim.random_source import RandomSource
+
+_settings = settings(
+    max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def assert_results_identical(reference: SwarmResult, fast: SwarmResult) -> None:
+    """Field-for-field, float-for-float equality of two swarm results."""
+    assert reference.completed == fast.completed
+    assert reference.rounds_run == fast.rounds_run
+    assert reference.collaboration_volume == fast.collaboration_volume
+    assert reference.tft_reciprocal_rounds == fast.tft_reciprocal_rounds
+    assert set(reference.peers) == set(fast.peers)
+    for pid in reference.peers:
+        a, b = reference.peers[pid], fast.peers[pid]
+        assert a.peer_id == b.peer_id
+        assert a.upload_kbps == b.upload_kbps
+        assert a.is_seed == b.is_seed
+        assert a.neighbors == b.neighbors
+        assert a.bitfield.held() == b.bitfield.held()
+        assert a.downloaded_kbit == b.downloaded_kbit
+        assert a.uploaded_kbit == b.uploaded_kbit
+        assert a.partial_kbit == b.partial_kbit
+        assert a.received_last_round == b.received_last_round
+        assert a.completed_round == b.completed_round
+
+
+def run_both(config: SwarmConfig, seed: int, **kwargs):
+    reference = SwarmSimulator(config, seed=seed, **kwargs).run()
+    fast = SwarmSimulator(config, seed=seed, engine="fast", **kwargs).run()
+    assert_results_identical(reference, fast)
+    return reference, fast
+
+
+class TestEngineEquivalence:
+    def test_default_style_swarm(self):
+        config = SwarmConfig(
+            leechers=30,
+            seeds=2,
+            piece_count=80,
+            rounds=30,
+            start_completion=0.3,
+            seed_upload_kbps=1500.0,
+        )
+        reference, fast = run_both(config, seed=5)
+        assert reference.completed > 0
+        # Derived metrics agree because the raw results agree.
+        assert stratification_index(reference) == stratification_index(fast)
+        assert reference.download_rates() == fast.download_rates()
+        assert reference.share_ratios() == fast.share_ratios()
+
+    def test_explicit_bandwidths(self):
+        rng = np.random.default_rng(3)
+        bandwidths = np.exp(rng.uniform(np.log(50.0), np.log(3000.0), 20))
+        config = SwarmConfig(leechers=20, seeds=1, piece_count=50, rounds=25)
+        run_both(config, seed=8, bandwidths=bandwidths)
+
+    @pytest.mark.parametrize(
+        "policy", ["rarest-first", "random", "sequential"]
+    )
+    def test_all_piece_selection_policies(self, policy):
+        config = SwarmConfig(
+            leechers=15,
+            seeds=1,
+            piece_count=40,
+            rounds=20,
+            piece_selection=policy,
+            start_completion=0.2,
+        )
+        run_both(config, seed=13)
+
+    def test_seedless_swarm(self):
+        config = SwarmConfig(
+            leechers=12, seeds=0, piece_count=40, rounds=15, start_completion=0.5
+        )
+        run_both(config, seed=9)
+
+    def test_zero_regular_slots_all_optimistic(self):
+        config = SwarmConfig(
+            leechers=10,
+            seeds=1,
+            piece_count=30,
+            rounds=12,
+            regular_slots=0,
+            optimistic_slots=2,
+        )
+        reference, _ = run_both(config, seed=4)
+        assert reference.tft_reciprocal_rounds == {}
+
+    def test_zero_optimistic_slots(self):
+        config = SwarmConfig(
+            leechers=12,
+            seeds=2,
+            piece_count=30,
+            rounds=15,
+            optimistic_slots=0,
+            start_completion=0.4,
+        )
+        run_both(config, seed=6)
+
+    def test_bootstrap_complete_leechers(self):
+        # round(0.95 * 20) == 19, one piece short; round(0.98 * 50) == 49.
+        config = SwarmConfig(
+            leechers=8, seeds=1, piece_count=20, rounds=8, start_completion=0.95
+        )
+        run_both(config, seed=2)
+
+    @pytest.mark.parametrize("period", [1, 2, 5])
+    def test_optimistic_rotation_periods(self, period):
+        """The rotation state machine must stay draw-for-draw identical."""
+        config = SwarmConfig(
+            leechers=14,
+            seeds=1,
+            piece_count=60,
+            rounds=4 * period + 3,
+            optimistic_period=period,
+            start_completion=0.2,
+        )
+        run_both(config, seed=21)
+
+    @pytest.mark.parametrize("warmup", [0, 1, 7, 100])
+    def test_warmup_round_boundaries(self, warmup):
+        """TFT statistics start exactly at round warmup_rounds + 1."""
+        config = SwarmConfig(
+            leechers=16,
+            seeds=1,
+            piece_count=50,
+            rounds=8,
+            warmup_rounds=warmup,
+            start_completion=0.3,
+        )
+        reference, fast = run_both(config, seed=17)
+        if warmup >= reference.rounds_run:
+            assert reference.tft_reciprocal_rounds == {}
+            assert fast.tft_reciprocal_rounds == {}
+        if warmup == 0 and reference.tft_reciprocal_rounds:
+            # With no warmup, counts may reach the full horizon.
+            assert max(reference.tft_reciprocal_rounds.values()) <= reference.rounds_run
+
+    @_settings
+    @given(
+        leechers=st.integers(min_value=4, max_value=20),
+        seeds=st.integers(min_value=0, max_value=2),
+        piece_count=st.integers(min_value=8, max_value=50),
+        rounds=st.integers(min_value=2, max_value=15),
+        start_completion=st.sampled_from([0.0, 0.25, 0.6, 0.9]),
+        policy=st.sampled_from(["rarest-first", "random", "sequential"]),
+        regular_slots=st.integers(min_value=0, max_value=4),
+        optimistic_slots=st.integers(min_value=0, max_value=2),
+        optimistic_period=st.integers(min_value=1, max_value=4),
+        warmup=st.integers(min_value=0, max_value=6),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_equivalence_property(
+        self,
+        leechers,
+        seeds,
+        piece_count,
+        rounds,
+        start_completion,
+        policy,
+        regular_slots,
+        optimistic_slots,
+        optimistic_period,
+        warmup,
+        seed,
+    ):
+        config = SwarmConfig(
+            leechers=leechers,
+            seeds=seeds,
+            piece_count=piece_count,
+            rounds=rounds,
+            start_completion=start_completion,
+            piece_selection=policy,
+            regular_slots=regular_slots,
+            optimistic_slots=optimistic_slots,
+            optimistic_period=optimistic_period,
+            warmup_rounds=warmup,
+            announce_size=5,
+        )
+        run_both(config, seed=seed)
+
+
+class TestSwarmDeterminism:
+    def test_same_seed_same_result_reference(self):
+        config = SwarmConfig(leechers=15, seeds=1, piece_count=40, rounds=15)
+        first = SwarmSimulator(config, seed=33).run()
+        second = SwarmSimulator(config, seed=33).run()
+        assert_results_identical(first, second)
+
+    def test_same_seed_same_result_fast(self):
+        config = SwarmConfig(leechers=15, seeds=1, piece_count=40, rounds=15)
+        first = SwarmSimulator(config, seed=33, engine="fast").run()
+        second = SwarmSimulator(config, seed=33, engine="fast").run()
+        assert_results_identical(first, second)
+
+    def test_different_seeds_differ(self):
+        config = SwarmConfig(leechers=15, seeds=1, piece_count=40, rounds=15)
+        first = SwarmSimulator(config, seed=1, engine="fast").run()
+        second = SwarmSimulator(config, seed=2, engine="fast").run()
+        assert first.collaboration_volume != second.collaboration_volume
+
+
+class TestEngineInterface:
+    def test_unknown_engine_rejected(self):
+        config = SwarmConfig(leechers=5, piece_count=10, rounds=2)
+        with pytest.raises(ModelError):
+            SwarmSimulator(config, engine="warp")
+
+    def test_fast_simulator_requires_swarm_config(self):
+        with pytest.raises(TypeError):
+            FastSwarmSimulator({"leechers": 5})
+
+    def test_bandwidth_length_checked(self):
+        config = SwarmConfig(leechers=5, piece_count=10, rounds=2)
+        with pytest.raises(ValueError):
+            SwarmSimulator(config, engine="fast", bandwidths=[100.0] * 3)
+
+    def test_invalid_selector_rejected(self):
+        config = SwarmConfig(
+            leechers=5, piece_count=10, rounds=2, piece_selection="weird"
+        )
+        with pytest.raises(ValueError):
+            SwarmSimulator(config, engine="fast")
+
+    def test_fast_simulator_exposes_peers(self):
+        config = SwarmConfig(leechers=6, seeds=1, piece_count=12, rounds=3)
+        reference = SwarmSimulator(config, seed=3)
+        fast = SwarmSimulator(config, seed=3, engine="fast")
+        # Before run(): the initial populations agree.
+        assert set(fast.peers) == set(reference.peers)
+        for pid, peer in reference.peers.items():
+            snapshot = fast.peers[pid]
+            assert snapshot.upload_kbps == peer.upload_kbps
+            assert snapshot.neighbors == peer.neighbors
+            assert snapshot.bitfield.held() == peer.bitfield.held()
+        # After run(): the snapshot reflects the final state.
+        result = fast.run()
+        for pid, peer in result.peers.items():
+            assert fast.peers[pid].bitfield.held() == peer.bitfield.held()
+
+    def test_conflicting_piece_size_spellings_rejected(self):
+        with pytest.raises(TypeError):
+            SwarmConfig(
+                leechers=5, piece_count=10, rounds=2,
+                piece_size_kbit=512.0, piece_size_kb=256.0,
+            )
+
+
+class TestFastComponents:
+    def test_bitfield_matrix_roundtrip(self):
+        matrix = BitfieldMatrix(3, 13)
+        matrix.fill(0, [0, 5, 12])
+        matrix.set_complete(1)
+        assert matrix.to_bitfield(0).held() == {0, 5, 12}
+        assert matrix.to_bitfield(1).held() == set(range(13))
+        assert matrix.to_bitfield(2).held() == set()
+        assert matrix.is_complete(1) and not matrix.is_complete(0)
+        assert matrix.availability().tolist() == [
+            2 if p in {0, 5, 12} else 1 for p in range(13)
+        ]
+        wanted = matrix.indices(matrix.wanted_bytes(1, 0))
+        assert wanted.tolist() == [p for p in range(13) if p not in {0, 5, 12}]
+
+    def test_bitfield_matrix_add_and_padding(self):
+        matrix = BitfieldMatrix(2, 9)  # forces a padded last byte
+        matrix.set_complete(0)
+        matrix.add(1, 8)
+        assert matrix.have_count.tolist() == [9, 1]
+        # Padding bits of the seed row must not leak into wanted masks.
+        assert matrix.indices(matrix.wanted_bytes(0, 1)).tolist() == list(range(8))
+
+    def test_edge_interest_matches_setwise(self):
+        rng = np.random.default_rng(0)
+        matrix = BitfieldMatrix(6, 30)
+        held = []
+        for i in range(6):
+            pieces = rng.choice(30, size=int(rng.integers(0, 30)), replace=False)
+            matrix.fill(i, pieces)
+            held.append(set(int(p) for p in pieces))
+        src = np.repeat(np.arange(6), 6)
+        dst = np.tile(np.arange(6), 6)
+        interest = matrix.edge_interest(src, dst)
+        for s, d, flag in zip(src, dst, interest):
+            assert flag == bool(held[s] - held[d])
+
+    def test_fast_tracker_matches_reference(self):
+        reference = Tracker(announce_size=4)
+        fast = FastTracker(announce_size=4)
+        ref_rng = RandomSource(7).stream("tracker")
+        fast_rng = RandomSource(7).stream("tracker")
+        for pid in range(1, 30):
+            ref_contacts = reference.announce(pid, ref_rng)
+            fast_contacts = fast.announce(pid, fast_rng)
+            assert ref_contacts == [int(x) for x in fast_contacts]
+        assert fast.swarm_size == reference.swarm_size == 29
+
+    def test_fast_tracker_rejects_gaps(self):
+        fast = FastTracker(announce_size=3)
+        rng = np.random.default_rng(0)
+        fast.announce(1, rng)
+        with pytest.raises(ValueError):
+            fast.announce(5, rng)
+
+    def test_batched_regular_slots_ordering(self):
+        # One peer (0) with four contributors; ranked by (-volume, id).
+        edge_peer = np.array([0, 0, 0, 0, 1])
+        partner_id = np.array([5, 2, 9, 7, 3])
+        received = np.array([1.0, 4.0, 4.0, 0.5, 2.0])
+        interested = np.array([True, True, True, True, False])
+        slots = batched_regular_slots(edge_peer, partner_id, received, interested, 3)
+        assert slots == {0: [2, 9, 5]}
+        # Zero slots or nothing received -> empty mapping.
+        assert batched_regular_slots(edge_peer, partner_id, received, interested, 0) == {}
+        assert (
+            batched_regular_slots(
+                edge_peer, partner_id, np.zeros(5), interested, 3
+            )
+            == {}
+        )
