@@ -1,0 +1,240 @@
+"""Scenario-engine scaling: reference vs fast swarm simulator under churn.
+
+``bench_swarm_scaling.py`` times the two swarm engines on the paper's
+*fixed* post-flash-crowd population; this benchmark times them on the
+dynamic-membership workload the scenario subsystem
+(:mod:`repro.bittorrent.scenarios`) unlocks: Poisson arrivals scaled to 2%
+of the swarm per round, completed leechers lingering two rounds as seeds
+before departing.  Churn is the hostile case for the fast engine -- every
+membership change forces a CSR re-freeze of the edge arrays and the grown
+bitfield rows -- and the hostile case for the reference tracker too (every
+announce sorts the alive set), so the claim gated here is that the array
+design keeps its >= 5x advantage at 5,000 leechers *while churning*, not
+just on the static swarm it was born on.
+
+Both engines run through the public ``engine=`` switch with the same seed
+and scenario, and are bit-identical (checksummed below, arrivals and
+departures included), so the timed work is the same churning swarm round
+for round.
+
+Run headlessly (writes ``BENCH_scenarios.json`` in the repo root):
+
+    python benchmarks/bench_scenarios.py --quick     # 1k + 5k
+    python benchmarks/bench_scenarios.py             # 1k + 5k + 20k flash crowd (fast only)
+
+or through pytest: ``pytest benchmarks/bench_scenarios.py -s``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+if __name__ == "__main__":  # headless invocation: make src/ importable
+    _SRC = Path(__file__).resolve().parent.parent / "src"
+    if str(_SRC) not in sys.path:
+        sys.path.insert(0, str(_SRC))
+
+from repro.bittorrent.scenarios import ScenarioSchedule
+from repro.bittorrent.swarm import SwarmConfig, SwarmSimulator
+
+SEED = 2007  # ICDCS'07
+TIMED_SIZES = (1_000, 5_000)  # both engines; full mode adds the showcase
+SHOWCASE_SIZE = 20_000  # flash-crowd burst, fast engine only (full mode)
+REQUIRED_SPEEDUP_AT_5K = 5.0
+GATE_SIZE = 5_000
+
+
+def _swarm_config(leechers: int) -> SwarmConfig:
+    """The timed base swarm (the scenario below churns it)."""
+    return SwarmConfig(
+        leechers=leechers,
+        seeds=max(3, leechers // 2_000),
+        piece_count=300,
+        rounds=10,
+        start_completion=0.3,
+        seed_upload_kbps=5_000.0,
+        announce_size=20,
+    )
+
+
+def _churn_scenario(leechers: int) -> ScenarioSchedule:
+    """Poisson joins at 2% of the swarm per round; completers linger 2 rounds."""
+    return ScenarioSchedule(
+        arrivals="poisson",
+        arrival_rate=leechers / 50.0,
+        departure="linger",
+        linger_rounds=2,
+    )
+
+
+def _flashcrowd_scenario(leechers: int) -> ScenarioSchedule:
+    """The showcase: half the swarm again arrives at once, mid-run."""
+    return ScenarioSchedule(
+        arrivals="flashcrowd",
+        burst_round=3,
+        burst_size=leechers // 2,
+        departure="leave",
+    )
+
+
+def _checksum(result) -> Dict[str, float]:
+    """A few exact aggregates; engines diverging here invalidates the timing."""
+    return {
+        "completed": result.completed,
+        "rounds_run": result.rounds_run,
+        "arrivals": result.arrivals,
+        "departures": result.departures,
+        "total_downloaded_kbit": sum(
+            p.downloaded_kbit for p in result.peers.values()
+        ),
+        "collaboration_pairs": len(result.collaboration_volume),
+        "tft_pairs": len(result.tft_reciprocal_rounds),
+    }
+
+
+def _time_engine(
+    leechers: int, engine: str, scenario: ScenarioSchedule
+) -> Dict[str, object]:
+    config = _swarm_config(leechers)
+    start = time.perf_counter()
+    result = SwarmSimulator(
+        config, seed=SEED, engine=engine, scenario=scenario
+    ).run()
+    elapsed = time.perf_counter() - start
+    return {"seconds": elapsed, "checksum": _checksum(result)}
+
+
+def run_scaling(sizes, showcase: Optional[int] = None) -> List[Dict[str, object]]:
+    """Time both engines on the identical churning workload at each size."""
+    rows: List[Dict[str, object]] = []
+    for leechers in sizes:
+        scenario = _churn_scenario(leechers)
+        fast = _time_engine(leechers, "fast", scenario)
+        reference = _time_engine(leechers, "reference", scenario)
+        if reference["checksum"] != fast["checksum"]:
+            raise AssertionError(
+                f"engines diverged at leechers={leechers}: "
+                f"reference={reference['checksum']}, fast={fast['checksum']}"
+            )
+        speedup = reference["seconds"] / fast["seconds"]
+        rows.append(
+            {
+                "leechers": leechers,
+                "scenario": "poisson-2pct-linger2",
+                "reference_seconds": round(reference["seconds"], 4),
+                "fast_seconds": round(fast["seconds"], 4),
+                "speedup": round(speedup, 2),
+                "checksum": fast["checksum"],
+            }
+        )
+        print(
+            f"leechers={leechers:>7,} (churning): reference={reference['seconds']:7.2f}s  "
+            f"fast={fast['seconds']:6.2f}s  speedup={speedup:5.1f}x  "
+            f"arrivals={fast['checksum']['arrivals']}  "
+            f"departures={fast['checksum']['departures']}"
+        )
+    if showcase:
+        fast = _time_engine(showcase, "fast", _flashcrowd_scenario(showcase))
+        rows.append(
+            {
+                "leechers": showcase,
+                "scenario": "flashcrowd-half-swarm",
+                "reference_seconds": None,
+                "fast_seconds": round(fast["seconds"], 4),
+                "speedup": None,
+                "checksum": fast["checksum"],
+            }
+        )
+        print(
+            f"leechers={showcase:>7,} (flash crowd +{showcase // 2:,}): "
+            f"reference=   (skipped)  fast={fast['seconds']:6.2f}s  "
+            f"(fast engine only)"
+        )
+    return rows
+
+
+def build_payload(rows: List[Dict[str, object]], mode: str) -> Dict[str, object]:
+    """Assemble the JSON payload; the CLI and pytest paths share this shape."""
+    return {
+        "benchmark": "scenarios",
+        "workload": {
+            "seeds": "max(3, leechers // 2000)",
+            "piece_count": 300,
+            "rounds": 10,
+            "start_completion": 0.3,
+            "piece_selection": "rarest-first",
+            "announce_size": 20,
+            "bandwidths": "saroiu-like mixture",
+            "scenario": {
+                "arrivals": "poisson",
+                "arrival_rate": "leechers / 50 per round (2% churn)",
+                "departure": "linger",
+                "linger_rounds": 2,
+            },
+            "seed": SEED,
+        },
+        "mode": mode,
+        "results": rows,
+        "speedup_at_5k": next(
+            row["speedup"] for row in rows if row["leechers"] == GATE_SIZE
+        ),
+        "required_speedup_at_5k": REQUIRED_SPEEDUP_AT_5K,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-style run: 1k + 5k only (the 5x gate still applies)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="where to write the JSON result (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    showcase = None if args.quick else SHOWCASE_SIZE
+    rows = run_scaling(TIMED_SIZES, showcase)
+
+    payload = build_payload(rows, mode="quick" if args.quick else "full")
+    speedup_at_5k = payload["speedup_at_5k"]
+    # Import here so the module also works when pytest imports it from the
+    # benchmarks directory (conftest is on the path in both invocations).
+    from conftest import write_benchmark_json
+
+    path = write_benchmark_json("scenarios", payload, args.output)
+    print(f"wrote {path}")
+
+    if speedup_at_5k < REQUIRED_SPEEDUP_AT_5K:
+        print(
+            f"FAIL: fast engine speedup on the churning 5k swarm is "
+            f"{speedup_at_5k:.1f}x (required: >= {REQUIRED_SPEEDUP_AT_5K:.0f}x)"
+        )
+        return 1
+    print(
+        f"PASS: fast engine is {speedup_at_5k:.1f}x faster on the churning "
+        f"5k swarm (required: >= {REQUIRED_SPEEDUP_AT_5K:.0f}x)"
+    )
+    return 0
+
+
+def test_scenarios_quick():
+    """Pytest entry point: the churning quick sizes must clear the 5x gate."""
+    rows = run_scaling(TIMED_SIZES)
+    from conftest import write_benchmark_json
+
+    payload = build_payload(rows, mode="quick")
+    write_benchmark_json("scenarios", payload)
+    assert payload["speedup_at_5k"] >= REQUIRED_SPEEDUP_AT_5K
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

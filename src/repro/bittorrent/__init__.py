@@ -7,6 +7,9 @@
 * :mod:`repro.bittorrent.tracker` -- peer discovery (the acceptance graph).
 * :mod:`repro.bittorrent.swarm` -- the round-based swarm simulator and the
   empirical stratification index.
+* :mod:`repro.bittorrent.scenarios` -- dynamic-membership scenarios
+  (Poisson arrivals, flash crowds, departure policies) driving both swarm
+  engines bit-identically.
 * :mod:`repro.bittorrent.bandwidth` -- the Saroiu-style upstream bandwidth
   distribution (Figure 10).
 * :mod:`repro.bittorrent.efficiency` -- expected download/upload share
@@ -30,6 +33,12 @@ from repro.bittorrent.efficiency import (
     simulated_efficiency,
 )
 from repro.bittorrent.pieces import Bitfield, Torrent
+from repro.bittorrent.scenarios import (
+    SCENARIO_NAMES,
+    ScenarioSchedule,
+    make_scenario,
+    resolve_scenario,
+)
 from repro.bittorrent.piece_selection import (
     PieceSelector,
     RandomSelector,
@@ -67,6 +76,10 @@ __all__ = [
     "efficiency_observations",
     "simulated_efficiency",
     "Bitfield",
+    "SCENARIO_NAMES",
+    "ScenarioSchedule",
+    "make_scenario",
+    "resolve_scenario",
     "Torrent",
     "PieceSelector",
     "RandomSelector",

@@ -10,6 +10,13 @@ tracker edge in a few vectorized passes instead of building Python sets.
 
 Padding bits of the last byte are never set, so ``row_s & ~row_r`` is free
 of padding artefacts (``row_s`` masks them off).
+
+Dynamic swarms grow the matrix: :meth:`BitfieldMatrix.add_peers` appends
+zeroed rows for scenario arrivals, doubling the backing capacity
+geometrically so a flash crowd costs O(n) amortized rather than one
+reallocation per joiner.  Rows of departed peers are tombstoned by the
+swarm engine (its ``alive`` mask) rather than freed -- peer ids are never
+reused, so a row index stays valid for the whole run.
 """
 
 from __future__ import annotations
@@ -29,10 +36,12 @@ class BitfieldMatrix:
     Attributes
     ----------
     packed:
-        ``(n_peers, ceil(piece_count / 8))`` uint8 matrix of packed bits.
+        ``(capacity, ceil(piece_count / 8))`` uint8 matrix of packed bits;
+        only the first ``n_peers`` rows are live (``capacity >= n_peers``
+        after growth).
     have_count:
-        ``(n_peers,)`` number of pieces each peer holds (kept incrementally,
-        so completion tests are O(1)).
+        ``(capacity,)`` number of pieces each peer holds (kept
+        incrementally, so completion tests are O(1)).
     """
 
     def __init__(self, n_peers: int, piece_count: int) -> None:
@@ -45,6 +54,34 @@ class BitfieldMatrix:
         self.n_bytes = (piece_count + 7) // 8
         self.packed = np.zeros((n_peers, self.n_bytes), dtype=np.uint8)
         self.have_count = np.zeros(n_peers, dtype=np.int64)
+
+    # -- growth ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Allocated rows (>= :attr:`n_peers`)."""
+        return self.packed.shape[0]
+
+    def add_peers(self, count: int) -> int:
+        """Append ``count`` empty rows; returns the first new row index.
+
+        Grows the backing arrays geometrically (at least doubling), so a
+        burst of arrivals is amortized O(rows touched).
+        """
+        if count < 0:
+            raise ValueError("count cannot be negative")
+        first = self.n_peers
+        needed = self.n_peers + count
+        if needed > self.capacity:
+            new_capacity = max(needed, 2 * self.capacity)
+            packed = np.zeros((new_capacity, self.n_bytes), dtype=np.uint8)
+            packed[: self.n_peers] = self.packed[: self.n_peers]
+            self.packed = packed
+            have = np.zeros(new_capacity, dtype=np.int64)
+            have[: self.n_peers] = self.have_count[: self.n_peers]
+            self.have_count = have
+        self.n_peers = needed
+        return first
 
     # -- mutation ----------------------------------------------------------------
 
@@ -88,12 +125,27 @@ class BitfieldMatrix:
         return np.flatnonzero(np.unpackbits(packed_row, count=self.piece_count))
 
     def availability(self) -> np.ndarray:
-        """Replication level of every piece across all peers."""
+        """Replication level of every piece across all allocated rows.
+
+        Counts every row below :attr:`n_peers` -- including rows the swarm
+        engine has tombstoned for departed peers (their bits are never
+        cleared; liveness is the engine's concern, tracked by its ``alive``
+        mask and compensated incrementally via :meth:`unpack_row`).  Only
+        unused growth capacity is excluded.
+        """
         return (
-            np.unpackbits(self.packed, axis=1, count=self.piece_count)
+            np.unpackbits(self.packed[: self.n_peers], axis=1, count=self.piece_count)
             .sum(axis=0)
             .astype(np.int64)
         )
+
+    def unpack_row(self, peer: int) -> np.ndarray:
+        """One peer's bitfield as a 0/1 int64 vector of length piece_count.
+
+        The swarm engine subtracts this from its availability counts when
+        the peer departs.
+        """
+        return np.unpackbits(self.packed[peer], count=self.piece_count).astype(np.int64)
 
     def edge_interest(
         self,

@@ -131,6 +131,15 @@ class FastChokerState:
         """The seed policy, via the shared reference implementation."""
         return seed_unchoke(interested, self.seed_slots, rng)
 
+    def drop(self, peer_id: int) -> None:
+        """Discard a departed peer's rotation state.
+
+        Mirrors the reference simulator deleting the peer's choker object;
+        ids are never reused, so this is memory hygiene, not semantics.
+        """
+        self._optimistic.pop(peer_id, None)
+        self._age.pop(peer_id, None)
+
     def _rotate_optimistic(
         self, peer_id: int, pool: List[int], rng: np.random.Generator
     ) -> List[int]:

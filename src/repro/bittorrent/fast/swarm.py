@@ -16,14 +16,25 @@ SwarmSimulator` round for round on flat arrays:
 * tracker announces are array-backed
   (:class:`~repro.bittorrent.fast.tracker.FastTracker`).
 
+Dynamic scenarios (:mod:`repro.bittorrent.scenarios`) break the fixed-width
+assumption the arrays were born with, so membership is two-tier: the
+*live adjacency* is a list of Python neighbor sets mutated as peers join
+and leave, and the *CSR edge arrays* the vectorized passes run over are a
+frozen snapshot of it, re-frozen (``_rebuild_csr``) only on rounds whose
+membership actually changed.  Peer rows grow geometrically
+(:meth:`BitfieldMatrix.add_peers`) and are tombstoned via an ``alive``
+mask on departure -- ids are never reused, so departed peers keep their
+row and their frozen statistics for the final result.
+
 The engine is *bit-identical* to the reference simulator: it consumes the
 shared :class:`~repro.sim.random_source.RandomSource` streams draw for
-draw (same shuffles, same ``choice`` calls, in the same order), and the
-float accounting applies the same IEEE operations in the same sequence.
-``tests/test_swarm_engine_equivalence.py`` enforces the contract; the
-speedup (>= 5x at 5k leechers, gated by
-``benchmarks/bench_swarm_scaling.py``) comes purely from replacing
-per-piece Python set algebra with vectorized passes.
+draw (same shuffles, same ``choice`` calls, same scenario arrival draws,
+in the same order), and the float accounting applies the same IEEE
+operations in the same sequence.  ``tests/test_swarm_engine_equivalence.py``
+enforces the contract -- under churn too; the speedup (>= 5x at 5k
+leechers, gated by ``benchmarks/bench_swarm_scaling.py`` and
+``benchmarks/bench_scenarios.py``) comes purely from replacing per-piece
+Python set algebra with vectorized passes.
 """
 
 from __future__ import annotations
@@ -35,8 +46,13 @@ import numpy as np
 from repro.bittorrent.bandwidth import BandwidthDistribution, saroiu_like_distribution
 from repro.bittorrent.fast.bitfields import BitfieldMatrix
 from repro.bittorrent.fast.choking import FastChokerState, batched_regular_slots
-from repro.bittorrent.fast.tracker import FastTracker, build_neighbor_csr
+from repro.bittorrent.fast.tracker import (
+    FastTracker,
+    build_neighbor_csr,
+    neighbor_sets_to_csr,
+)
 from repro.bittorrent.piece_selection import make_selector
+from repro.bittorrent.scenarios import ScenarioSchedule, resolve_scenario
 from repro.sim.random_source import RandomSource
 
 __all__ = ["FastSwarmSimulator"]
@@ -57,6 +73,7 @@ class FastSwarmSimulator:
         bandwidths: Optional[Sequence[float]] = None,
         distribution: Optional[BandwidthDistribution] = None,
         seed: int = 0,
+        scenario: "ScenarioSchedule | str | None" = None,
     ) -> None:
         # Imported here to avoid a circular import with repro.bittorrent.swarm.
         from repro.bittorrent.swarm import SwarmConfig
@@ -65,8 +82,9 @@ class FastSwarmSimulator:
             raise TypeError("config must be a SwarmConfig")
         make_selector(config.piece_selection)  # validate the policy name
         self.config = config
+        self.scenario = resolve_scenario(scenario)
         self.source = RandomSource(seed)
-        self.n = config.leechers + config.seeds
+        self.n_total = config.leechers + config.seeds
         self._build_population(bandwidths, distribution)
 
     # -- construction ------------------------------------------------------------
@@ -77,7 +95,7 @@ class FastSwarmSimulator:
         distribution: Optional[BandwidthDistribution],
     ) -> None:
         config = self.config
-        n = self.n
+        n = self.n_total
         rng = self.source.stream("bandwidth")
         if bandwidths is not None:
             sampled = np.asarray(list(bandwidths), dtype=float)
@@ -91,6 +109,7 @@ class FastSwarmSimulator:
         ] * config.seeds
         self.is_seed = np.zeros(n, dtype=bool)
         self.is_seed[config.leechers:] = True
+        self.alive = np.ones(n, dtype=bool)
 
         self.bitfields = BitfieldMatrix(n, config.piece_count)
         bootstrap_rng = self.source.stream("bootstrap")
@@ -107,18 +126,13 @@ class FastSwarmSimulator:
             self.bitfields.set_complete(i)
 
         announce_rng = self.source.stream("tracker")
-        tracker = FastTracker(announce_size=config.announce_size)
-        # The Python neighbor sets are construction scaffolding only; the
-        # CSR arrays carry the adjacency from here on.
-        self.indptr, self.adj, _ = build_neighbor_csr(n, tracker, announce_rng)
-        self.edge_peer = np.repeat(
-            np.arange(n, dtype=np.int64), np.diff(self.indptr)
+        self.tracker = FastTracker(announce_size=config.announce_size)
+        # The neighbor sets are the *live* adjacency (mutated under churn);
+        # the CSR arrays are its frozen snapshot for the vectorized passes.
+        self.indptr, self.adj, self.neighbor_sets = build_neighbor_csr(
+            n, self.tracker, announce_rng
         )
-        self.adj_pid = self.adj + 1
-        # Globally sorted (owner, partner) key: CSR segments are peer-ordered
-        # and id-sorted inside, so one searchsorted resolves any edge slot.
-        self.edge_key = self.edge_peer * n + self.adj
-        self.adj_nonseed = ~self.is_seed[self.adj]
+        self._freeze_edges()
 
         self.counts = self.bitfields.availability()
         self.chokers = FastChokerState(
@@ -129,10 +143,115 @@ class FastSwarmSimulator:
         )
         self.downloaded: List[float] = [0.0] * n
         self.uploaded: List[float] = [0.0] * n
-        self.partial: Dict[Tuple[int, int], float] = {}
         self.completed_round: List[Optional[int]] = [None] * n
-        self.recv_edge = np.zeros(self.adj.shape[0], dtype=np.float64)
+        self.arrival_round: List[int] = [0] * n
+        # partial[receiver][sender] = kilobits short of the next whole piece
+        # (dense indices) -- the array mirror of SwarmPeer.partial_kbit.
+        self.partial: Dict[int, Dict[int, float]] = {}
         self._last_received: Dict[int, Dict[int, float]] = {}
+        self._departed: Dict[int, "SwarmPeer"] = {}
+        # Departure is deterministic at completion time (round + 1 + linger),
+        # so completions enqueue here and _process_membership pops one round's
+        # bucket instead of scanning every row ever allocated.
+        self._depart_due: Dict[int, List[int]] = {}
+        self._total_arrived = 0
+
+    def _freeze_edges(self) -> None:
+        """Derive the per-edge arrays from the current (indptr, adj) CSR."""
+        n = self.n_total
+        self.edge_peer = np.repeat(
+            np.arange(n, dtype=np.int64), np.diff(self.indptr)
+        )
+        self.adj_pid = self.adj + 1
+        # Globally sorted (owner, partner) key: CSR segments are peer-ordered
+        # and id-sorted inside, so one searchsorted resolves any edge slot.
+        self._key_mult = n
+        self.edge_key = self.edge_peer * n + self.adj
+        self.adj_nonseed = ~self.is_seed[self.adj]
+        self.recv_edge = np.zeros(self.adj.shape[0], dtype=np.float64)
+
+    def _rebuild_csr(self) -> None:
+        """Re-freeze the live adjacency after a membership change.
+
+        Departed peers have empty segments (their sets were scrubbed), new
+        arrivals bring their announce edges in; last round's received
+        volumes are re-projected onto the new edge layout so the coming
+        rechoke sees exactly what the reference chokers see.
+        """
+        self.indptr, self.adj = neighbor_sets_to_csr(self.neighbor_sets)
+        self._freeze_edges()
+        self._project_received()
+
+    # -- membership dynamics -------------------------------------------------------
+
+    def _process_membership(self, round_index: int) -> bool:
+        """Departures then arrivals, mirroring the reference step for step.
+
+        Returns whether membership changed (i.e. the CSR must be re-frozen).
+        """
+        scenario = self.scenario
+        changed = False
+        if scenario.departure != "stay":
+            due = sorted(self._depart_due.pop(round_index, []))
+            for i in due:
+                self._depart(i, round_index)
+            changed = bool(due)
+        count = scenario.arrivals_for_round(
+            round_index, self._total_arrived, self.source.stream("scenario")
+        )
+        if count > 0:
+            capacities = scenario.sample_capacities(count, self.source.stream("bandwidth"))
+            self._arrive_batch(capacities, round_index)
+            self._total_arrived += count
+            changed = True
+        return changed
+
+    def _depart(self, i: int, round_index: int) -> None:
+        """Tombstone dense row ``i``; snapshot its stats for the result."""
+        pid = i + 1
+        snapshot = self._materialize_one(i)
+        snapshot.departed_round = round_index
+        self._departed[pid] = snapshot
+        self.alive[i] = False
+        self.counts -= self.bitfields.unpack_row(i)
+        for j in self.neighbor_sets[i]:
+            self.neighbor_sets[j].discard(i)
+        self.neighbor_sets[i] = set()
+        self.partial.pop(i, None)
+        self.chokers.drop(pid)
+        self.tracker.depart(pid)
+
+    def _arrive_batch(self, capacities: np.ndarray, round_index: int) -> None:
+        """Join ``len(capacities)`` fresh leechers (grows every array)."""
+        config = self.config
+        count = len(capacities)
+        base = self.bitfields.add_peers(count)
+        self.alive = np.concatenate([self.alive, np.ones(count, dtype=bool)])
+        self.is_seed = np.concatenate([self.is_seed, np.zeros(count, dtype=bool)])
+        self.uploads.extend(float(c) for c in capacities)
+        self.downloaded.extend([0.0] * count)
+        self.uploaded.extend([0.0] * count)
+        self.completed_round.extend([None] * count)
+        self.arrival_round.extend([round_index] * count)
+        self.neighbor_sets.extend(set() for _ in range(count))
+        self.n_total = base + count
+
+        start_pieces = self.scenario.arrival_pieces(config.piece_count)
+        bootstrap_rng = self.source.stream("bootstrap")
+        announce_rng = self.source.stream("tracker")
+        for k in range(count):
+            i = base + k
+            if start_pieces:
+                self.bitfields.fill(
+                    i,
+                    bootstrap_rng.choice(
+                        config.piece_count, size=start_pieces, replace=False
+                    ),
+                )
+                self.counts += self.bitfields.unpack_row(i)
+            for contact in self.tracker.announce(i + 1, announce_rng):
+                self.neighbor_sets[i].add(int(contact) - 1)
+                self.neighbor_sets[int(contact) - 1].add(i)
 
     # -- simulation ---------------------------------------------------------------
 
@@ -141,6 +260,7 @@ class FastSwarmSimulator:
         from repro.bittorrent.swarm import SwarmResult
 
         config = self.config
+        scenario = self.scenario
         rng = self.source.stream("rounds")
         collaboration: Dict[Tuple[int, int], float] = {}
         tft_rounds: Dict[Tuple[int, int], float] = {}
@@ -152,13 +272,18 @@ class FastSwarmSimulator:
 
         rounds_run = config.rounds
         for round_index in range(1, config.rounds + 1):
+            if self._process_membership(round_index):
+                incomplete = self._count_incomplete()
+                self._rebuild_csr()
             transfers, regular_pairs = self._plan_round(rng)
             self._record_reciprocal_tft(regular_pairs, tft_rounds, round_index)
             newly, incomplete = self._apply_round(
                 transfers, collaboration, rng, round_index, incomplete
             )
             completed += newly
-            if incomplete == 0:
+            if incomplete == 0 and not scenario.more_arrivals_after(
+                round_index, self._total_arrived
+            ):
                 rounds_run = round_index
                 break
         return SwarmResult(
@@ -168,6 +293,15 @@ class FastSwarmSimulator:
             tft_reciprocal_rounds=tft_rounds,
             completed=completed,
             rounds_run=rounds_run,
+            arrivals=self._total_arrived,
+            departures=len(self._departed),
+        )
+
+    def _count_incomplete(self) -> int:
+        """Active leechers still missing pieces (recounted after churn)."""
+        live = self.alive[: self.n_total] & ~self.is_seed[: self.n_total]
+        return int(
+            (self.bitfields.have_count[: self.n_total][live] < self.config.piece_count).sum()
         )
 
     def _interest_pass(self) -> np.ndarray:
@@ -208,8 +342,10 @@ class FastSwarmSimulator:
         regular_pairs: Set[Tuple[int, int]] = set()
         indptr = self.indptr
         round_seconds = config.round_seconds
-        for i in range(self.n):
+        for i in range(self.n_total):
             lo, hi = indptr[i], indptr[i + 1]
+            if lo == hi:
+                continue  # departed peers have empty segments
             segment = interested[lo:hi]
             if not segment.any():
                 continue
@@ -348,7 +484,8 @@ class FastSwarmSimulator:
             )
             collaboration[key] = collaboration.get(key, 0.0) + volume_kbit
 
-            credit = partial.get((receiver, sender), 0.0) + volume_kbit
+            partial_r = partial.setdefault(receiver, {})
+            credit = partial_r.get(sender, 0.0) + volume_kbit
             if credit >= piece_size:
                 wanted_idx = bitfields.indices(wanted_bytes)
                 credit, gained = self._acquire_pieces(
@@ -362,62 +499,83 @@ class FastSwarmSimulator:
                     self.completed_round[receiver] = round_index
                     newly_completed += 1
                     incomplete -= 1
-            partial[(receiver, sender)] = credit
+                    if self.scenario.departure != "stay":
+                        due_round = round_index + 1 + self.scenario.effective_linger
+                        self._depart_due.setdefault(due_round, []).append(receiver)
+            partial_r[sender] = credit
 
         self._store_received(received_now)
         return newly_completed, incomplete
 
     def _store_received(self, received_now: Dict[int, Dict[int, float]]) -> None:
-        """Project this round's receipts onto the edge array for the rechoke."""
+        """Record this round's receipts and project them onto the edges."""
         self._last_received = received_now
+        self._project_received()
+
+    def _project_received(self) -> None:
+        """Scatter ``_last_received`` onto the current edge array.
+
+        Under churn the edge layout may have just been re-frozen, so every
+        (receiver, sender) pair is resolved against the live edge keys and
+        pairs whose edge disappeared (a departed partner) are dropped --
+        the reference chokers never look those up either.
+        """
         self.recv_edge.fill(0.0)
-        if not received_now:
+        if not self._last_received or self.edge_key.size == 0:
             return
         receivers: List[int] = []
         senders: List[int] = []
         volumes: List[float] = []
-        for receiver_pid, by_sender in received_now.items():
+        for receiver_pid, by_sender in self._last_received.items():
             for sender_pid, volume in by_sender.items():
                 receivers.append(receiver_pid - 1)
                 senders.append(sender_pid - 1)
                 volumes.append(volume)
         keys = (
-            np.asarray(receivers, dtype=np.int64) * self.n
+            np.asarray(receivers, dtype=np.int64) * self._key_mult
             + np.asarray(senders, dtype=np.int64)
         )
         positions = np.searchsorted(self.edge_key, keys)
-        self.recv_edge[positions] = np.asarray(volumes, dtype=np.float64)
+        in_range = positions < self.edge_key.size
+        positions = np.where(in_range, positions, 0)
+        valid = in_range & (self.edge_key[positions] == keys)
+        self.recv_edge[positions[valid]] = np.asarray(volumes, dtype=np.float64)[valid]
 
     # -- materialization ----------------------------------------------------------
+
+    def _materialize_one(self, i: int) -> "SwarmPeer":
+        """Rebuild one dense row as a reference ``SwarmPeer`` snapshot."""
+        from repro.bittorrent.swarm import SwarmPeer
+
+        pid = i + 1
+        return SwarmPeer(
+            peer_id=pid,
+            upload_kbps=self.uploads[i],
+            is_seed=bool(self.is_seed[i]),
+            bitfield=self.bitfields.to_bitfield(i),
+            neighbors={j + 1 for j in self.neighbor_sets[i]},
+            downloaded_kbit=self.downloaded[i],
+            uploaded_kbit=self.uploaded[i],
+            partial_kbit={
+                sender + 1: credit
+                for sender, credit in self.partial.get(i, {}).items()
+            },
+            received_last_round=dict(self._last_received.get(pid, {})),
+            completed_round=self.completed_round[i],
+            arrival_round=self.arrival_round[i],
+        )
 
     def materialize_peers(self) -> Dict[int, "SwarmPeer"]:
         """Rebuild reference ``SwarmPeer`` objects from the arrays.
 
         Each call returns a fresh snapshot of the *current* simulation
-        state (initial population before :meth:`run`, final state after);
-        this is what backs ``SwarmSimulator.peers`` in fast mode.
+        state (initial population before :meth:`run`, final state after),
+        departed peers included (frozen at their departure round); this is
+        what backs ``SwarmSimulator.peers`` in fast mode and the ``peers``
+        of the returned result.
         """
-        from repro.bittorrent.swarm import SwarmPeer
-
-        partial_by_receiver: Dict[int, Dict[int, float]] = {}
-        for (receiver, sender), credit in self.partial.items():
-            partial_by_receiver.setdefault(receiver, {})[sender + 1] = credit
-
-        peers: Dict[int, SwarmPeer] = {}
-        for i in range(self.n):
-            pid = i + 1
-            peers[pid] = SwarmPeer(
-                peer_id=pid,
-                upload_kbps=self.uploads[i],
-                is_seed=bool(self.is_seed[i]),
-                bitfield=self.bitfields.to_bitfield(i),
-                neighbors=set(
-                    self.adj_pid[self.indptr[i]:self.indptr[i + 1]].tolist()
-                ),
-                downloaded_kbit=self.downloaded[i],
-                uploaded_kbit=self.uploaded[i],
-                partial_kbit=partial_by_receiver.get(i, {}),
-                received_last_round=self._last_received.get(pid, {}),
-                completed_round=self.completed_round[i],
-            )
-        return peers
+        peers: Dict[int, "SwarmPeer"] = dict(self._departed)
+        for i in range(self.n_total):
+            if self.alive[i]:
+                peers[i + 1] = self._materialize_one(i)
+        return dict(sorted(peers.items()))

@@ -1,20 +1,30 @@
-"""Array-backed tracker announces.
+"""Array-backed tracker announces, with dynamic membership.
 
 The reference :class:`repro.bittorrent.tracker.Tracker` materializes and
 sorts the known-peer set on every announce -- O(k log k) per call, O(n^2
 log n) for a whole swarm, which alone makes 100k-peer populations
-infeasible.  This tracker exploits that swarm construction registers peers
-in increasing id order, so the known set is always the contiguous range
-``1..k``: an announce is one ``rng.choice(k, size, replace=False)`` with no
-materialization at all.  The draw consumes the random stream exactly like
-the reference (``Generator.choice`` consumption depends only on the
-population *size*), so announces are id-for-id identical under a shared
-seed -- the equivalence tests cover the whole construction path.
+infeasible.  This tracker keeps two regimes:
+
+* **contiguous** (the construction path): peers join in increasing id
+  order and nobody has departed, so the known set is always the range
+  ``1..k`` and an announce is one ``rng.choice(k, size, replace=False)``
+  with no materialization at all;
+* **dynamic** (scenario churn): once a peer departs, the tracker drops to
+  a sorted alive-id list (joins append -- ids only grow -- and departures
+  are one linear ``list.remove``); an announce is one
+  ``rng.choice(len(alive), size, replace=False)`` mapped through the
+  list, still far cheaper than the reference's per-announce set sort.
+
+Either way the draw consumes the random stream exactly like the reference
+(``Generator.choice`` consumption depends only on the population *size*,
+and the alive list is precisely the reference's ``sorted(known)``), so
+announces are id-for-id identical under a shared seed -- the equivalence
+tests cover both the construction path and churning scenarios.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -22,36 +32,65 @@ __all__ = ["FastTracker", "build_neighbor_csr"]
 
 
 class FastTracker:
-    """A tracker for populations that join in increasing id order."""
+    """A tracker whose peers join with strictly increasing ids."""
 
     def __init__(self, announce_size: int) -> None:
         if announce_size <= 0:
             raise ValueError("announce_size must be positive")
         self.announce_size = announce_size
-        self._registered = 0
+        self._max_id = 0
+        # Sorted alive ids; None while the alive set is the range 1..max_id
+        # (the contiguous fast path used during swarm construction).
+        self._alive: Optional[List[int]] = None
 
     def announce(self, peer_id: int, rng: np.random.Generator) -> np.ndarray:
         """Register ``peer_id`` and return its random contacts (peer ids).
 
-        ``peer_id`` must be ``registered + 1``; the contiguity is what makes
-        the announce array-free.
+        ``peer_id`` must be ``max_id + 1``: ids grow monotonically even
+        under churn (departed ids are never reused), which is what keeps
+        the alive set a range for as long as nobody departs.
         """
-        if peer_id != self._registered + 1:
+        if peer_id != self._max_id + 1:
             raise ValueError(
-                f"FastTracker requires contiguous joins; expected "
-                f"{self._registered + 1}, got {peer_id}"
+                f"FastTracker requires increasing ids; expected "
+                f"{self._max_id + 1}, got {peer_id}"
             )
-        known = self._registered
-        self._registered += 1
-        if known == 0:
+        self._max_id = peer_id
+        if self._alive is None:
+            known = peer_id - 1
+            if known == 0:
+                return np.empty(0, dtype=np.int64)
+            count = min(self.announce_size, known)
+            return rng.choice(known, size=count, replace=False).astype(np.int64) + 1
+        others = self._alive
+        if not others:
+            others.append(peer_id)
             return np.empty(0, dtype=np.int64)
-        count = min(self.announce_size, known)
-        return rng.choice(known, size=count, replace=False).astype(np.int64) + 1
+        count = min(self.announce_size, len(others))
+        idx = rng.choice(len(others), size=count, replace=False)
+        contacts = np.asarray(others, dtype=np.int64)[idx]
+        others.append(peer_id)  # peer_id exceeds every alive id: stays sorted
+        return contacts
+
+    def depart(self, peer_id: int) -> None:
+        """Remove a peer; later announces can no longer return it."""
+        if self._alive is None:
+            self._alive = list(range(1, self._max_id + 1))
+        try:
+            self._alive.remove(peer_id)
+        except ValueError:
+            pass  # mirror Tracker.depart's discard semantics
+
+    def known_peers(self) -> List[int]:
+        """Currently registered peer ids, ascending (departed excluded)."""
+        if self._alive is None:
+            return list(range(1, self._max_id + 1))
+        return list(self._alive)
 
     @property
     def swarm_size(self) -> int:
         """Number of peers currently registered."""
-        return self._registered
+        return self._max_id if self._alive is None else len(self._alive)
 
 
 def build_neighbor_csr(
@@ -62,13 +101,23 @@ def build_neighbor_csr(
     Returns ``(indptr, adj, neighbor_sets)`` over dense indices
     ``0..n_peers-1`` (dense index = peer id - 1); each adjacency segment is
     sorted ascending, matching the reference simulator's
-    ``sorted(peer.neighbors)`` iteration order.
+    ``sorted(peer.neighbors)`` iteration order.  ``neighbor_sets`` is the
+    live adjacency the dynamic-membership engine keeps mutating; the CSR
+    arrays are its frozen snapshot (see ``FastSwarmSimulator._rebuild_csr``
+    for the re-snapshot under churn).
     """
     neighbor_sets: List[set] = [set() for _ in range(n_peers)]
     for peer_id in range(1, n_peers + 1):
         for contact in tracker.announce(peer_id, rng):
             neighbor_sets[peer_id - 1].add(int(contact) - 1)
             neighbor_sets[int(contact) - 1].add(peer_id - 1)
+    indptr, adj = neighbor_sets_to_csr(neighbor_sets)
+    return indptr, adj, neighbor_sets
+
+
+def neighbor_sets_to_csr(neighbor_sets: List[set]) -> Tuple[np.ndarray, np.ndarray]:
+    """Freeze per-peer neighbor sets into (indptr, adj) CSR arrays."""
+    n_peers = len(neighbor_sets)
     degrees = np.fromiter(
         (len(s) for s in neighbor_sets), dtype=np.int64, count=n_peers
     )
@@ -77,4 +126,4 @@ def build_neighbor_csr(
     adj = np.empty(int(indptr[-1]), dtype=np.int64)
     for i, neighbors in enumerate(neighbor_sets):
         adj[indptr[i]:indptr[i + 1]] = sorted(neighbors)
-    return indptr, adj, neighbor_sets
+    return indptr, adj

@@ -45,6 +45,7 @@ from repro.bittorrent.bandwidth import BandwidthDistribution, saroiu_like_distri
 from repro.bittorrent.choking import SeedChoker, TitForTatChoker
 from repro.bittorrent.pieces import Bitfield, Torrent
 from repro.bittorrent.piece_selection import PieceSelector, make_selector, piece_availability
+from repro.bittorrent.scenarios import ScenarioSchedule, resolve_scenario
 from repro.bittorrent.tracker import Tracker
 from repro.core.exceptions import validate_engine
 from repro.sim.random_source import RandomSource
@@ -173,7 +174,13 @@ def _deprecated_kb_property(new_name: str):
 
 @dataclass
 class SwarmPeer:
-    """Dynamic state of one peer in the swarm (volumes in kilobits)."""
+    """Dynamic state of one peer in the swarm (volumes in kilobits).
+
+    ``arrival_round`` is 0 for the initial population and the join round
+    for scenario arrivals; ``departed_round`` is set when a scenario
+    departure policy removes the peer from the swarm (its statistics are
+    frozen at that point but still reported in the result).
+    """
 
     peer_id: int
     upload_kbps: float
@@ -185,15 +192,23 @@ class SwarmPeer:
     partial_kbit: Dict[int, float] = field(default_factory=dict)
     received_last_round: Dict[int, float] = field(default_factory=dict)
     completed_round: Optional[int] = None
+    arrival_round: int = 0
+    departed_round: Optional[int] = None
 
     downloaded_kb = _deprecated_kb_property("downloaded_kbit")
     uploaded_kb = _deprecated_kb_property("uploaded_kbit")
     partial_kb = _deprecated_kb_property("partial_kbit")
 
     def download_rate_kbps(self, rounds: int, round_seconds: float) -> float:
-        """Average download rate over the simulated horizon."""
+        """Average download rate over the peer's time in the swarm.
+
+        A peer joining at the start of round ``r`` participates in rounds
+        ``r..horizon`` inclusive -- ``horizon - r + 1`` rounds (the initial
+        population, ``arrival_round == 0``, participates from round 1).
+        """
         horizon = (self.completed_round if self.completed_round is not None else rounds)
-        horizon = max(1, horizon)
+        active_since = max(1, self.arrival_round)
+        horizon = max(1, horizon - active_since + 1)
         return self.downloaded_kbit / (horizon * round_seconds)
 
 
@@ -205,6 +220,11 @@ class SwarmResult:
     ``tft_reciprocal_rounds`` counts, per pair of leechers, the rounds in
     which *both* sides granted the other a regular (Tit-for-Tat) slot --
     the empirical analogue of a matched pair in the paper's model.
+
+    Under a dynamic :class:`~repro.bittorrent.scenarios.ScenarioSchedule`,
+    ``peers`` contains departed peers too (with ``departed_round`` set and
+    their statistics frozen at departure); ``arrivals`` / ``departures``
+    count the membership events over the whole run.
     """
 
     config: SwarmConfig
@@ -213,10 +233,16 @@ class SwarmResult:
     tft_reciprocal_rounds: Dict[Tuple[int, int], float]
     completed: int
     rounds_run: int
+    arrivals: int = 0
+    departures: int = 0
 
     def leechers(self) -> List[SwarmPeer]:
-        """All non-seed peers."""
+        """All non-seed peers (departed ones included)."""
         return [peer for peer in self.peers.values() if not peer.is_seed]
+
+    def present_peers(self) -> List[SwarmPeer]:
+        """Peers still in the swarm at the end of the run."""
+        return [peer for peer in self.peers.values() if peer.departed_round is None]
 
     def download_rates(self) -> Dict[int, float]:
         """Average download rate (kbps) per leecher."""
@@ -253,6 +279,12 @@ class SwarmSimulator:
         ``"fast"`` for the packed-bit array engine in
         :mod:`repro.bittorrent.fast.swarm`.  Both are bit-identical for
         the same seed.
+    scenario:
+        Membership dynamics: a
+        :class:`~repro.bittorrent.scenarios.ScenarioSchedule`, a preset
+        name (``"static"``, ``"poisson"``, ``"flashcrowd"``,
+        ``"seed-linger"``) or ``None`` for the fixed population the paper
+        assumes.  Scenarios are bit-identical across engines too.
     """
 
     def __init__(
@@ -263,17 +295,23 @@ class SwarmSimulator:
         distribution: Optional[BandwidthDistribution] = None,
         seed: int = 0,
         engine: str = "reference",
+        scenario: "ScenarioSchedule | str | None" = None,
     ) -> None:
         validate_engine(engine)
         self.config = config
         self.engine = engine
+        self.scenario = resolve_scenario(scenario)
         self.source = RandomSource(seed)
         self.torrent = Torrent(config.piece_count, config.piece_size_kbit)
         if engine == "fast":
             from repro.bittorrent.fast.swarm import FastSwarmSimulator
 
             self._fast: Optional[FastSwarmSimulator] = FastSwarmSimulator(
-                config, bandwidths=bandwidths, distribution=distribution, seed=seed
+                config,
+                bandwidths=bandwidths,
+                distribution=distribution,
+                seed=seed,
+                scenario=self.scenario,
             )
             return
         self._fast = None
@@ -281,6 +319,9 @@ class SwarmSimulator:
         self.tracker = Tracker(announce_size=config.announce_size)
         self._chokers: Dict[int, TitForTatChoker | SeedChoker] = {}
         self.peers: Dict[int, SwarmPeer] = {}
+        self._departed: Dict[int, SwarmPeer] = {}
+        self._next_pid = 0
+        self._total_arrived = 0
         self._build_population(bandwidths, distribution)
 
     def __getattr__(self, name: str):
@@ -318,6 +359,7 @@ class SwarmSimulator:
         peer_id = 0
         for index in range(config.leechers):
             peer_id += 1
+            self._next_pid = peer_id
             bitfield = Bitfield.empty(config.piece_count)
             start_pieces = int(round(config.start_completion * config.piece_count))
             if start_pieces:
@@ -339,6 +381,7 @@ class SwarmSimulator:
             )
         for _ in range(config.seeds):
             peer_id += 1
+            self._next_pid = peer_id
             peer = SwarmPeer(
                 peer_id=peer_id,
                 upload_kbps=config.seed_upload_kbps,
@@ -354,6 +397,77 @@ class SwarmSimulator:
             for other in contacts:
                 self.peers[other].neighbors.add(pid)
 
+    # -- membership dynamics -------------------------------------------------------
+
+    def _process_membership(self, round_index: int) -> None:
+        """Apply the scenario's departures and arrivals for this round.
+
+        The order (departures, then one arrival-count draw, then one
+        capacity batch, then per-arrival bootstrap + announce) is the
+        engine-shared protocol documented in
+        :mod:`repro.bittorrent.scenarios` -- the fast engine replays it
+        step for step on the same streams.
+        """
+        scenario = self.scenario
+        if scenario.departure != "stay":
+            due = [
+                pid
+                for pid, peer in self.peers.items()
+                if not peer.is_seed
+                and scenario.should_depart(peer.completed_round, round_index)
+            ]
+            for pid in due:
+                self._depart(pid, round_index)
+        count = scenario.arrivals_for_round(
+            round_index, self._total_arrived, self.source.stream("scenario")
+        )
+        if count > 0:
+            capacities = scenario.sample_capacities(count, self.source.stream("bandwidth"))
+            for k in range(count):
+                self._arrive(float(capacities[k]), round_index)
+            self._total_arrived += count
+
+    def _depart(self, pid: int, round_index: int) -> None:
+        """Remove a completed leecher; freeze its statistics in the result."""
+        peer = self.peers.pop(pid)
+        peer.departed_round = round_index
+        for other in peer.neighbors:
+            if other in self.peers:
+                self.peers[other].neighbors.discard(pid)
+        self.tracker.depart(pid)
+        del self._chokers[pid]
+        self._departed[pid] = peer
+
+    def _arrive(self, upload_kbps: float, round_index: int) -> None:
+        """Join one fresh leecher: bootstrap pieces, then a tracker announce."""
+        config = self.config
+        self._next_pid += 1
+        pid = self._next_pid
+        bitfield = Bitfield.empty(config.piece_count)
+        start_pieces = self.scenario.arrival_pieces(config.piece_count)
+        if start_pieces:
+            for piece in self.source.stream("bootstrap").choice(
+                config.piece_count, size=start_pieces, replace=False
+            ):
+                bitfield.add(int(piece))
+        peer = SwarmPeer(
+            peer_id=pid,
+            upload_kbps=upload_kbps,
+            is_seed=False,
+            bitfield=bitfield,
+            arrival_round=round_index,
+        )
+        self.peers[pid] = peer
+        self._chokers[pid] = TitForTatChoker(
+            regular_slots=config.regular_slots,
+            optimistic_slots=config.optimistic_slots,
+            optimistic_period=config.optimistic_period,
+        )
+        contacts = self.tracker.announce(pid, self.source.stream("tracker"))
+        peer.neighbors.update(contacts)
+        for other in contacts:
+            self.peers[other].neighbors.add(pid)
+
     # -- simulation ---------------------------------------------------------------
 
     def run(self) -> SwarmResult:
@@ -361,6 +475,7 @@ class SwarmSimulator:
         if self._fast is not None:
             return self._fast.run()
         config = self.config
+        scenario = self.scenario
         rng = self.source.stream("rounds")
         collaboration: Dict[Tuple[int, int], float] = {}
         tft_rounds: Dict[Tuple[int, int], float] = {}
@@ -368,19 +483,26 @@ class SwarmSimulator:
 
         rounds_run = config.rounds
         for round_index in range(1, config.rounds + 1):
+            self._process_membership(round_index)
             transfers, regular_pairs = self._plan_round(rng)
             self._record_reciprocal_tft(regular_pairs, tft_rounds, round_index)
             completed += self._apply_round(transfers, collaboration, rng, round_index)
-            if all(p.bitfield.is_complete() for p in self.peers.values() if not p.is_seed):
+            if all(
+                p.bitfield.is_complete() for p in self.peers.values() if not p.is_seed
+            ) and not scenario.more_arrivals_after(round_index, self._total_arrived):
                 rounds_run = round_index
                 break
+        all_peers = dict(self._departed)
+        all_peers.update(self.peers)
         return SwarmResult(
             config=config,
-            peers=self.peers,
+            peers=dict(sorted(all_peers.items())),
             collaboration_volume=collaboration,
             tft_reciprocal_rounds=tft_rounds,
             completed=completed,
             rounds_run=rounds_run,
+            arrivals=self._total_arrived,
+            departures=len(self._departed),
         )
 
     def _plan_round(

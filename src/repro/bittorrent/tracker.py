@@ -62,8 +62,25 @@ class Tracker:
         return chosen
 
     def depart(self, peer_id: int) -> None:
-        """Remove a peer from the tracker (contacts keep their history)."""
+        """Remove a peer from the tracker (contacts keep their history).
+
+        Later announces can no longer return the departed peer, which is
+        how scenario departures propagate to newly arriving peers.
+        """
         self._known.discard(peer_id)
+
+    def is_registered(self, peer_id: int) -> bool:
+        """Whether the peer is currently in the swarm (not departed)."""
+        return peer_id in self._known
+
+    def known_peers(self) -> List[int]:
+        """Currently registered peer ids, ascending (departed excluded).
+
+        This is exactly the population an announce samples from; the fast
+        tracker maintains the same list array-side, and the parity is
+        asserted by the scenario test suite.
+        """
+        return sorted(self._known)
 
     def contacts(self, peer_id: int) -> Set[int]:
         """Peers that ``peer_id`` knows about (symmetric closure of announces)."""

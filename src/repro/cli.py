@@ -14,6 +14,7 @@ from typing import Callable, Dict, Optional, Sequence
 import numpy as np
 
 from repro import experiments
+from repro.bittorrent.scenarios import SCENARIO_NAMES
 from repro.core.exceptions import ENGINES
 from repro.sim.results import ResultTable
 
@@ -66,6 +67,7 @@ _EXPERIMENTS: Dict[str, Callable[[], object]] = {
     "figure10": experiments.figure10_bandwidth_cdf,
     "figure11": experiments.figure11_efficiency,
     "swarm": experiments.swarm_stratification_experiment,
+    "scenario-timeline": experiments.scenario_stratification_timeline,
 }
 
 
@@ -92,8 +94,22 @@ def build_parser() -> argparse.ArgumentParser:
         default="reference",
         help=(
             "simulation backend for the engine-aware experiments "
-            "(figure1/2/3/6, table1, swarm): 'reference' is the validated "
-            "oracle, 'fast' the bit-identical vectorized engine"
+            "(figure1/2/3/6, table1, swarm, scenario-timeline): 'reference' "
+            "is the validated oracle, 'fast' the bit-identical vectorized "
+            "engine"
+        ),
+    )
+    parser.add_argument(
+        "--scenario",
+        choices=sorted(SCENARIO_NAMES),
+        default=None,
+        help=(
+            "membership dynamics for the swarm experiments (swarm, "
+            "scenario-timeline): 'static' is the paper's fixed "
+            "post-flash-crowd population, 'poisson' adds continuous "
+            "arrivals with leave-on-completion, 'flashcrowd' a joining "
+            "burst, 'seed-linger' arrivals whose completers seed a while; "
+            "scenarios are bit-identical across engines"
         ),
     )
     return parser
@@ -107,6 +123,8 @@ def _runner_kwargs(runner: Callable[..., object], args: argparse.Namespace) -> D
         kwargs["seed"] = args.seed
     if "engine" in parameters:
         kwargs["engine"] = args.engine
+    if "scenario" in parameters and args.scenario is not None:
+        kwargs["scenario"] = args.scenario
     return kwargs
 
 

@@ -11,6 +11,7 @@ from repro.experiments.figures import (
     figure9_validation,
     figure10_bandwidth_cdf,
     figure11_efficiency,
+    scenario_stratification_timeline,
     swarm_stratification_experiment,
     table1_clustering,
 )
@@ -26,6 +27,7 @@ __all__ = [
     "figure9_validation",
     "figure10_bandwidth_cdf",
     "figure11_efficiency",
+    "scenario_stratification_timeline",
     "swarm_stratification_experiment",
     "table1_clustering",
 ]

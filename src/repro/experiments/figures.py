@@ -21,6 +21,7 @@ from repro.analytical.one_matching import independent_one_matching
 from repro.analytical.validation import validate_independent_model
 from repro.bittorrent.bandwidth import saroiu_like_distribution
 from repro.bittorrent.efficiency import analytic_efficiency, efficiency_observations
+from repro.bittorrent.scenarios import resolve_scenario
 from repro.bittorrent.swarm import SwarmConfig, SwarmSimulator, stratification_index
 from repro.core.churn import ChurnConfig, simulate_churn
 from repro.core.dynamics import simulate_convergence, simulate_peer_removal
@@ -43,6 +44,7 @@ __all__ = [
     "figure10_bandwidth_cdf",
     "figure11_efficiency",
     "swarm_stratification_experiment",
+    "scenario_stratification_timeline",
 ]
 
 
@@ -372,6 +374,7 @@ def swarm_stratification_experiment(
     piece_count: int = 600,
     seed: int = 0,
     engine: str = "reference",
+    scenario: "str | None" = None,
 ) -> Dict[str, float]:
     """End-to-end check that a TFT swarm stratifies by bandwidth (Section 6).
 
@@ -379,7 +382,10 @@ def swarm_stratification_experiment(
     population and reports the reciprocal-TFT stratification index together
     with the correlation between upload capacity and achieved download rate.
     Pass ``engine="fast"`` (bit-identical results) for thousands of
-    leechers and beyond.
+    leechers and beyond, and ``scenario`` (a preset name or a
+    :class:`~repro.bittorrent.scenarios.ScenarioSchedule`) to measure the
+    same statistics on a churning swarm instead of the paper's assumed
+    fixed post-flash-crowd population.
     """
     rng = np.random.default_rng(seed)
     bandwidths = np.exp(rng.uniform(np.log(100.0), np.log(2000.0), leechers))
@@ -391,7 +397,9 @@ def swarm_stratification_experiment(
         start_completion=0.25,
         seed_upload_kbps=2000.0,
     )
-    simulator = SwarmSimulator(config, bandwidths=bandwidths, seed=seed, engine=engine)
+    simulator = SwarmSimulator(
+        config, bandwidths=bandwidths, seed=seed, engine=engine, scenario=scenario
+    )
     result = simulator.run()
     rates = result.download_rates()
     ids = sorted(rates)
@@ -405,4 +413,63 @@ def swarm_stratification_experiment(
         "upload_download_correlation": correlation,
         "completed": float(result.completed),
         "rounds_run": float(result.rounds_run),
+        "arrivals": float(result.arrivals),
+        "departures": float(result.departures),
+        "final_swarm_size": float(len(result.present_peers())),
+    }
+
+
+def scenario_stratification_timeline(
+    *,
+    leechers: int = 30,
+    piece_count: int = 240,
+    seed: int = 0,
+    engine: str = "reference",
+    scenario: "str | None" = "poisson",
+    checkpoints: Sequence[int] = (10, 20, 30, 45, 60),
+) -> Dict[str, Dict[str, np.ndarray]]:
+    """Stratification index over time while the swarm churns.
+
+    The paper states stratification for the post-flash-crowd steady state;
+    this driver measures how the empirical index *builds up and persists*
+    while peers keep arriving and leaving.  Each checkpoint re-runs the
+    simulation with a longer horizon under the same seed: the round loop
+    draws only from the past, so a shorter run is draw-for-draw a prefix
+    of a longer one and every checkpoint is an exact snapshot (on either
+    engine -- they stay bit-identical under churn).
+    """
+    scenario_schedule = resolve_scenario(scenario)
+    label = scenario if isinstance(scenario, str) else scenario_schedule.arrivals
+    horizons = sorted({int(r) for r in checkpoints if int(r) > 0})
+    if not horizons:
+        raise ValueError("need at least one positive checkpoint")
+    index, volume_index, sizes, arrivals, departures, completed = [], [], [], [], [], []
+    for horizon in horizons:
+        config = SwarmConfig(
+            leechers=leechers,
+            seeds=2,
+            piece_count=piece_count,
+            rounds=horizon,
+            start_completion=0.25,
+            seed_upload_kbps=2000.0,
+        )
+        result = SwarmSimulator(
+            config, seed=seed, engine=engine, scenario=scenario_schedule
+        ).run()
+        index.append(stratification_index(result))
+        volume_index.append(stratification_index(result, use_tft_pairs=False))
+        sizes.append(len(result.present_peers()))
+        arrivals.append(result.arrivals)
+        departures.append(result.departures)
+        completed.append(result.completed)
+    return {
+        f"scenario={label}": {
+            "rounds": np.asarray(horizons, dtype=float),
+            "stratification_index": np.asarray(index),
+            "volume_stratification_index": np.asarray(volume_index),
+            "swarm_size": np.asarray(sizes, dtype=float),
+            "arrivals": np.asarray(arrivals, dtype=float),
+            "departures": np.asarray(departures, dtype=float),
+            "completed": np.asarray(completed, dtype=float),
+        }
     }

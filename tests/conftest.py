@@ -1,4 +1,4 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and options for the test suite."""
 
 from __future__ import annotations
 
@@ -9,6 +9,25 @@ from repro.core.acceptance import AcceptanceGraph
 from repro.core.peer import PeerPopulation
 from repro.core.ranking import GlobalRanking
 from repro.sim.random_source import RandomSource
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help=(
+            "rewrite tests/golden/*.json from the current engines instead of "
+            "diffing against them (run: pytest tests/test_golden_traces.py "
+            "--regen-golden, then review + commit the diff)"
+        ),
+    )
+
+
+@pytest.fixture
+def regen_golden(request: pytest.FixtureRequest) -> bool:
+    """Whether this run regenerates the golden traces instead of diffing."""
+    return bool(request.config.getoption("--regen-golden", default=False))
 
 
 @pytest.fixture

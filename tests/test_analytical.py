@@ -261,11 +261,13 @@ class TestMonteCarloValidation:
             total = result.frequency(choice).sum() + result.unmatched_frequency[choice]
             assert total == pytest.approx(1.0, abs=1e-9)
 
+    @pytest.mark.slow
     def test_validation_report_close_to_model(self):
         report = validate_independent_model(150, 0.1, 2, peer=90, samples=150, seed=2)
         assert report.worst_total_variation < 0.25
         assert report.worst_mean_rank_error < 0.15
 
+    @pytest.mark.slow
     def test_match_probabilities_agree(self):
         report = validate_independent_model(150, 0.1, 2, peer=75, samples=150, seed=3)
         for choice in (1, 2):

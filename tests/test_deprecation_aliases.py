@@ -1,0 +1,121 @@
+"""The ``*_kb`` -> ``*_kbit`` deprecation shims, pinned end to end.
+
+The rename (the unit was always kilobits, only the name was ambiguous)
+left warning aliases on :class:`~repro.bittorrent.swarm.SwarmConfig`,
+:class:`~repro.bittorrent.swarm.SwarmPeer` and
+:class:`~repro.bittorrent.pieces.Torrent`.  These tests close the gap the
+rename left open: every alias must warn ``DeprecationWarning`` exactly
+once per access, forward the new field's value, and passing both
+spellings to a constructor must raise rather than silently pick one.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.bittorrent.pieces import Bitfield, Torrent
+from repro.bittorrent.swarm import SwarmConfig, SwarmPeer
+
+
+def assert_warns_exactly_once(access, expected_value):
+    """Run ``access`` once; exactly one DeprecationWarning, right value."""
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        value = access()
+    deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 1, (
+        f"expected exactly one DeprecationWarning, got {len(deprecations)}: "
+        f"{[str(w.message) for w in caught]}"
+    )
+    assert "deprecated" in str(deprecations[0].message)
+    assert "kbit" in str(deprecations[0].message)
+    assert value == expected_value
+
+
+class TestSwarmConfigAliases:
+    def test_constructor_alias_warns_once_and_forwards(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            config = SwarmConfig(leechers=5, piece_count=10, rounds=2, piece_size_kb=512.0)
+        deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        assert config.piece_size_kbit == 512.0
+
+    def test_attribute_alias_warns_once_per_access(self):
+        config = SwarmConfig(leechers=5, piece_count=10, rounds=2)
+        assert_warns_exactly_once(lambda: config.piece_size_kb, config.piece_size_kbit)
+        # Each access warns again -- the shim must not memoize itself away.
+        assert_warns_exactly_once(lambda: config.piece_size_kb, config.piece_size_kbit)
+
+    def test_both_spellings_raise(self):
+        with pytest.raises(TypeError, match="not both"):
+            SwarmConfig(
+                leechers=5, piece_count=10, rounds=2,
+                piece_size_kbit=512.0, piece_size_kb=256.0,
+            )
+
+    def test_new_spelling_warns_nothing(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            config = SwarmConfig(leechers=5, piece_count=10, rounds=2, piece_size_kbit=128.0)
+            _ = config.piece_size_kbit
+        assert not [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+
+class TestSwarmPeerAliases:
+    @pytest.fixture
+    def peer(self) -> SwarmPeer:
+        return SwarmPeer(
+            peer_id=1,
+            upload_kbps=100.0,
+            is_seed=False,
+            bitfield=Bitfield.empty(8),
+            downloaded_kbit=123.5,
+            uploaded_kbit=67.25,
+            partial_kbit={2: 31.5},
+        )
+
+    @pytest.mark.parametrize(
+        "alias,target",
+        [
+            ("downloaded_kb", "downloaded_kbit"),
+            ("uploaded_kb", "uploaded_kbit"),
+            ("partial_kb", "partial_kbit"),
+        ],
+    )
+    def test_alias_warns_once_and_forwards(self, peer, alias, target):
+        assert_warns_exactly_once(
+            lambda: getattr(peer, alias), getattr(peer, target)
+        )
+        assert_warns_exactly_once(
+            lambda: getattr(peer, alias), getattr(peer, target)
+        )
+
+    def test_new_spellings_warn_nothing(self, peer):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert peer.downloaded_kbit == 123.5
+            assert peer.uploaded_kbit == 67.25
+            assert peer.partial_kbit == {2: 31.5}
+        assert not [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+
+class TestTorrentAliases:
+    def test_constructor_alias_warns_once_and_forwards(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            torrent = Torrent(10, piece_size_kb=512.0)
+        deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        assert torrent.piece_size_kbit == 512.0
+
+    def test_attribute_aliases_warn_once_per_access(self):
+        torrent = Torrent(10, 256.0)
+        assert_warns_exactly_once(lambda: torrent.piece_size_kb, 256.0)
+        assert_warns_exactly_once(lambda: torrent.total_size_kb, 2560.0)
+
+    def test_both_spellings_raise(self):
+        with pytest.raises(TypeError, match="not both"):
+            Torrent(10, piece_size_kbit=512.0, piece_size_kb=256.0)

@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro import experiments
+from repro import cli
 from repro.cli import build_parser, main
 from repro.sim.results import ResultTable
 
@@ -56,6 +57,7 @@ class TestFigureDrivers:
         assert abs(stats[central]["mean_offset"]) < 30
         assert stats[bad]["unmatched_probability"] > 0.02
 
+    @pytest.mark.slow
     def test_figure9_validation_table(self):
         table = experiments.figure9_validation(n=300, p=0.08, samples=50)
         rows = table.to_records()
@@ -79,6 +81,44 @@ class TestFigureDrivers:
         )
         assert metrics["completed"] <= 25
         assert -1.0 <= metrics["stratification_index"] <= 1.0
+        assert metrics["arrivals"] == 0.0 and metrics["departures"] == 0.0
+        assert metrics["final_swarm_size"] == 27.0  # 25 leechers + 2 seeds
+
+    def test_swarm_experiment_with_scenario(self):
+        metrics = experiments.swarm_stratification_experiment(
+            leechers=15, rounds=25, piece_count=60, seed=4, scenario="poisson"
+        )
+        assert metrics["arrivals"] > 0
+        assert metrics["completed"] > 0
+
+    def test_scenario_timeline_is_prefix_consistent(self):
+        """Later checkpoints extend earlier ones exactly (same seed)."""
+        series = experiments.scenario_stratification_timeline(
+            leechers=12,
+            piece_count=40,
+            seed=6,
+            scenario="seed-linger",
+            checkpoints=(4, 8),
+        )
+        (label, data), = series.items()
+        assert label == "scenario=seed-linger"
+        assert data["rounds"].tolist() == [4.0, 8.0]
+        # Membership only ever grows along a prefix re-run.
+        assert data["arrivals"][1] >= data["arrivals"][0]
+        assert data["departures"][1] >= data["departures"][0]
+        short = experiments.scenario_stratification_timeline(
+            leechers=12,
+            piece_count=40,
+            seed=6,
+            scenario="seed-linger",
+            checkpoints=(4,),
+        )["scenario=seed-linger"]
+        assert short["stratification_index"][0] == data["stratification_index"][0]
+        assert short["swarm_size"][0] == data["swarm_size"][0]
+
+    def test_scenario_timeline_rejects_empty_checkpoints(self):
+        with pytest.raises(ValueError):
+            experiments.scenario_stratification_timeline(checkpoints=())
 
 
 class TestCLI:
@@ -105,6 +145,41 @@ class TestCLI:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["figure99"])
+
+
+class TestCLIScenarioFlag:
+    def test_parser_accepts_scenario(self):
+        parser = build_parser()
+        args = parser.parse_args(["swarm", "--scenario", "flashcrowd"])
+        assert args.scenario == "flashcrowd"
+        assert parser.parse_args(["swarm"]).scenario is None
+
+    def test_parser_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["swarm", "--scenario", "tsunami"])
+
+    def test_scenario_threaded_to_swarm_experiment(self, capsys, monkeypatch):
+        seen = {}
+        original = experiments.swarm_stratification_experiment
+
+        def spy(*, seed=0, engine="reference", scenario=None):
+            seen.update(seed=seed, engine=engine, scenario=scenario)
+            return original(
+                leechers=12, rounds=10, piece_count=30,
+                seed=seed, engine=engine, scenario=scenario,
+            )
+
+        monkeypatch.setitem(cli._EXPERIMENTS, "swarm", spy)
+        assert main(["swarm", "--scenario", "poisson", "--engine", "fast"]) == 0
+        assert seen["scenario"] == "poisson"
+        assert seen["engine"] == "fast"
+        assert "arrivals" in capsys.readouterr().out
+
+    def test_scenario_timeline_runs_from_cli(self, capsys):
+        assert main(["scenario-timeline"]) == 0
+        out = capsys.readouterr().out
+        assert "scenario=poisson" in out
+        assert "stratification_index" in out
 
 
 class TestCLIEngineFlag:

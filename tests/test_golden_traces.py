@@ -1,0 +1,196 @@
+"""Golden-trace regression suite: cross-version determinism, CI-enforced.
+
+The engine-equivalence suites prove ``fast == reference`` *within* one
+version of the code; they cannot catch a change that alters both engines
+the same way (a reordered random draw, a tweaked float sequence, a new
+default).  These tests replay small seeded simulations -- three swarm
+scenarios and three matching runs -- and diff their full serialized
+results against JSON traces committed under ``tests/golden/``, so any
+drift in the deterministic contract breaks CI loudly.
+
+If a change *intentionally* alters the traces (e.g. a new random draw in
+the hot path), regenerate and commit them:
+
+    PYTHONPATH=src python -m pytest tests/test_golden_traces.py --regen-golden
+
+then review the JSON diff like any other code change -- it is the exact
+externally-visible behaviour shift.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict
+
+import pytest
+
+from repro.bittorrent.swarm import SwarmConfig, SwarmResult, SwarmSimulator
+from repro.core.dynamics import simulate_convergence
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+# -- serialization (everything JSON-exact: ints, bools and IEEE doubles) --------
+
+
+def serialize_swarm_result(result: SwarmResult) -> Dict:
+    """Full swarm outcome as a JSON-stable dict (doubles round-trip exactly)."""
+    return {
+        "completed": result.completed,
+        "rounds_run": result.rounds_run,
+        "arrivals": result.arrivals,
+        "departures": result.departures,
+        "collaboration_volume": [
+            [a, b, float(v)] for (a, b), v in sorted(result.collaboration_volume.items())
+        ],
+        "tft_reciprocal_rounds": [
+            [a, b, float(v)] for (a, b), v in sorted(result.tft_reciprocal_rounds.items())
+        ],
+        "peers": {
+            str(pid): {
+                "upload_kbps": float(peer.upload_kbps),
+                "is_seed": peer.is_seed,
+                "neighbors": sorted(peer.neighbors),
+                "bitfield": sorted(peer.bitfield.held()),
+                "downloaded_kbit": float(peer.downloaded_kbit),
+                "uploaded_kbit": float(peer.uploaded_kbit),
+                "partial_kbit": {
+                    str(sender): float(credit)
+                    for sender, credit in sorted(peer.partial_kbit.items())
+                },
+                "received_last_round": {
+                    str(sender): float(volume)
+                    for sender, volume in sorted(peer.received_last_round.items())
+                },
+                "completed_round": peer.completed_round,
+                "arrival_round": peer.arrival_round,
+                "departed_round": peer.departed_round,
+            }
+            for pid, peer in sorted(result.peers.items())
+        },
+    }
+
+
+def serialize_convergence(result) -> Dict:
+    """Matching-layer trace: disorder trajectory + the final configuration."""
+    times, values = result.trajectory.as_arrays()
+    return {
+        "trajectory_times": [float(t) for t in times],
+        "trajectory_disorder": [float(v) for v in values],
+        "initiatives": result.initiatives,
+        "active_initiatives": result.active_initiatives,
+        "converged": result.converged,
+        "time_to_converge": (
+            float(result.time_to_converge)
+            if result.time_to_converge is not None
+            else None
+        ),
+        "final_matching": [list(pair) for pair in sorted(result.final_matching.pairs())],
+    }
+
+
+# -- trace catalogue ------------------------------------------------------------
+
+SWARM_TRACES = {
+    "swarm_static": {
+        "config": dict(
+            leechers=10, seeds=1, piece_count=24, rounds=8,
+            start_completion=0.3, announce_size=6,
+        ),
+        "scenario": "static",
+        "seed": 101,
+    },
+    "swarm_poisson": {
+        "config": dict(
+            leechers=10, seeds=1, piece_count=24, rounds=10,
+            start_completion=0.3, announce_size=6,
+        ),
+        "scenario": "poisson",
+        "seed": 102,
+    },
+    "swarm_flashcrowd": {
+        "config": dict(
+            leechers=8, seeds=1, piece_count=20, rounds=10,
+            start_completion=0.4, announce_size=5,
+        ),
+        "scenario": "flashcrowd",
+        "seed": 103,
+    },
+}
+
+MATCHING_TRACES = {
+    "matching_best_mate": dict(n=30, expected_degree=8.0, seed=201, max_base_units=20.0),
+    "matching_two_slots": dict(n=24, expected_degree=6.0, slots=2, seed=202, max_base_units=20.0),
+    "matching_random_strategy": dict(
+        n=20, expected_degree=10.0, strategy="random", seed=203, max_base_units=15.0
+    ),
+}
+
+
+def compute_swarm_trace(name: str) -> Dict:
+    spec = SWARM_TRACES[name]
+    results = {}
+    for engine in ("reference", "fast"):
+        config = SwarmConfig(**spec["config"])
+        simulator = SwarmSimulator(
+            config, seed=spec["seed"], engine=engine, scenario=spec["scenario"]
+        )
+        results[engine] = serialize_swarm_result(simulator.run())
+    assert results["reference"] == results["fast"], (
+        f"engines diverged while tracing {name}"
+    )
+    return {"kind": "swarm", "spec": {**spec, "name": name}, "result": results["reference"]}
+
+
+def compute_matching_trace(name: str) -> Dict:
+    spec = MATCHING_TRACES[name]
+    results = {
+        engine: serialize_convergence(simulate_convergence(**spec, engine=engine))
+        for engine in ("reference", "fast")
+    }
+    assert results["reference"] == results["fast"], (
+        f"engines diverged while tracing {name}"
+    )
+    return {"kind": "matching", "spec": {**spec, "name": name}, "result": results["reference"]}
+
+
+# -- the tests ------------------------------------------------------------------
+
+
+def check_golden(name: str, trace: Dict, regen: bool) -> None:
+    path = GOLDEN_DIR / f"{name}.json"
+    if regen:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(trace, indent=1, sort_keys=True) + "\n")
+        return
+    assert path.exists(), (
+        f"golden trace {path.name} is missing; run pytest "
+        f"tests/test_golden_traces.py --regen-golden and commit it"
+    )
+    stored = json.loads(path.read_text())
+    assert trace["spec"] == stored["spec"], (
+        f"{name}: trace spec changed; regenerate the golden file "
+        f"(--regen-golden) and review the diff"
+    )
+    assert trace["result"] == stored["result"], (
+        f"{name}: deterministic output drifted from the committed golden "
+        f"trace -- if intentional, regenerate with --regen-golden and "
+        f"commit the JSON diff"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(SWARM_TRACES))
+def test_swarm_golden_trace(name, regen_golden):
+    check_golden(name, compute_swarm_trace(name), regen_golden)
+
+
+@pytest.mark.parametrize("name", sorted(MATCHING_TRACES))
+def test_matching_golden_trace(name, regen_golden):
+    check_golden(name, compute_matching_trace(name), regen_golden)
+
+
+def test_golden_files_have_no_strays():
+    """Every committed golden file corresponds to a trace in the catalogue."""
+    known = set(SWARM_TRACES) | set(MATCHING_TRACES)
+    for path in GOLDEN_DIR.glob("*.json"):
+        assert path.stem in known, f"stray golden trace {path.name}"

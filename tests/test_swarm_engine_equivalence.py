@@ -7,8 +7,11 @@ bitfield, every float of transfer accounting, every reciprocated-TFT count,
 every completion round.  The suite also pins down swarm determinism (same
 config + seed => same result, run to run) and exercises the corners the
 batched engine could plausibly get wrong: optimistic-unchoke rotation
-periods, warmup-round boundaries, zero regular slots, seedless swarms and
-all three piece-selection policies.
+periods, warmup-round boundaries, zero regular slots, seedless swarms, all
+three piece-selection policies, and -- via
+:class:`~repro.bittorrent.scenarios.ScenarioSchedule` -- dynamic membership
+(Poisson arrivals, flash crowds, leave/linger departure policies), where
+the fast engine's grow/tombstone array design has the most room to drift.
 """
 
 from __future__ import annotations
@@ -22,6 +25,13 @@ from repro.bittorrent.fast.bitfields import BitfieldMatrix
 from repro.bittorrent.fast.choking import batched_regular_slots
 from repro.bittorrent.fast.swarm import FastSwarmSimulator
 from repro.bittorrent.fast.tracker import FastTracker
+from repro.bittorrent.scenarios import (
+    ARRIVAL_PROCESSES,
+    DEPARTURE_POLICIES,
+    SCENARIO_NAMES,
+    ScenarioSchedule,
+    make_scenario,
+)
 from repro.bittorrent.swarm import (
     SwarmConfig,
     SwarmResult,
@@ -32,6 +42,8 @@ from repro.bittorrent.tracker import Tracker
 from repro.core.exceptions import ModelError
 from repro.sim.random_source import RandomSource
 
+pytestmark = pytest.mark.equivalence
+
 _settings = settings(
     max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]
 )
@@ -41,6 +53,8 @@ def assert_results_identical(reference: SwarmResult, fast: SwarmResult) -> None:
     """Field-for-field, float-for-float equality of two swarm results."""
     assert reference.completed == fast.completed
     assert reference.rounds_run == fast.rounds_run
+    assert reference.arrivals == fast.arrivals
+    assert reference.departures == fast.departures
     assert reference.collaboration_volume == fast.collaboration_volume
     assert reference.tft_reciprocal_rounds == fast.tft_reciprocal_rounds
     assert set(reference.peers) == set(fast.peers)
@@ -56,6 +70,8 @@ def assert_results_identical(reference: SwarmResult, fast: SwarmResult) -> None:
         assert a.partial_kbit == b.partial_kbit
         assert a.received_last_round == b.received_last_round
         assert a.completed_round == b.completed_round
+        assert a.arrival_round == b.arrival_round
+        assert a.departed_round == b.departed_round
 
 
 def run_both(config: SwarmConfig, seed: int, **kwargs):
@@ -170,6 +186,7 @@ class TestEngineEquivalence:
             # With no warmup, counts may reach the full horizon.
             assert max(reference.tft_reciprocal_rounds.values()) <= reference.rounds_run
 
+    @pytest.mark.slow
     @_settings
     @given(
         leechers=st.integers(min_value=4, max_value=20),
@@ -212,6 +229,157 @@ class TestEngineEquivalence:
             announce_size=5,
         )
         run_both(config, seed=seed)
+
+
+@st.composite
+def scenario_schedules(draw) -> ScenarioSchedule:
+    """Valid ScenarioSchedules across the whole arrival/departure space."""
+    arrivals = draw(st.sampled_from(ARRIVAL_PROCESSES))
+    kwargs = {"arrivals": arrivals}
+    if arrivals == "poisson":
+        kwargs["arrival_rate"] = draw(st.sampled_from([0.5, 1.5, 3.0]))
+    elif arrivals == "flashcrowd":
+        kwargs["burst_round"] = draw(st.integers(min_value=1, max_value=6))
+        kwargs["burst_size"] = draw(st.integers(min_value=1, max_value=20))
+        kwargs["background_rate"] = draw(st.sampled_from([0.0, 1.0]))
+    kwargs["max_arrivals"] = draw(st.sampled_from([None, 8, 30]))
+    kwargs["departure"] = draw(st.sampled_from(DEPARTURE_POLICIES))
+    if kwargs["departure"] == "linger":
+        kwargs["linger_rounds"] = draw(st.integers(min_value=0, max_value=4))
+    kwargs["arrival_completion"] = draw(st.sampled_from([0.0, 0.25, 0.6]))
+    return ScenarioSchedule(**kwargs)
+
+
+class TestScenarioEquivalence:
+    """Dynamic membership must be bit-identical across engines too."""
+
+    @pytest.mark.parametrize("name", SCENARIO_NAMES)
+    def test_named_scenarios(self, name):
+        config = SwarmConfig(
+            leechers=18, seeds=2, piece_count=50, rounds=20, start_completion=0.3
+        )
+        reference, fast = run_both(config, seed=11, scenario=name)
+        if name != "static":
+            assert reference.arrivals > 0
+        assert stratification_index(reference) == stratification_index(fast)
+        assert reference.download_rates() == fast.download_rates()
+
+    def test_static_schedule_matches_no_scenario(self):
+        """Enabling the scenario machinery must not perturb a static swarm."""
+        config = SwarmConfig(leechers=14, seeds=1, piece_count=40, rounds=12)
+        plain, _ = run_both(config, seed=3)
+        scheduled, _ = run_both(config, seed=3, scenario=ScenarioSchedule())
+        assert_results_identical(plain, scheduled)
+
+    @pytest.mark.parametrize("linger", [0, 1, 3])
+    def test_linger_departure_boundaries(self, linger):
+        """Completed leechers must seed exactly `linger` rounds, both engines."""
+        scenario = ScenarioSchedule(
+            arrivals="poisson",
+            arrival_rate=1.5,
+            departure="linger",
+            linger_rounds=linger,
+        )
+        config = SwarmConfig(
+            leechers=15, seeds=1, piece_count=40, rounds=18, start_completion=0.4
+        )
+        reference, _ = run_both(config, seed=23, scenario=scenario)
+        for peer in reference.peers.values():
+            if peer.departed_round is not None:
+                assert peer.completed_round is not None
+                assert peer.departed_round == peer.completed_round + 1 + linger
+
+    def test_flash_crowd_with_background_rate(self):
+        scenario = ScenarioSchedule(
+            arrivals="flashcrowd",
+            burst_round=3,
+            burst_size=30,
+            background_rate=1.0,
+            departure="leave",
+        )
+        config = SwarmConfig(
+            leechers=12, seeds=2, piece_count=45, rounds=16, start_completion=0.3
+        )
+        reference, _ = run_both(config, seed=29, scenario=scenario)
+        assert reference.arrivals >= 30
+        burst_joiners = [
+            p for p in reference.peers.values() if p.arrival_round == 3
+        ]
+        assert len(burst_joiners) >= 30
+
+    def test_bootstrapped_arrivals(self):
+        scenario = ScenarioSchedule(
+            arrivals="poisson",
+            arrival_rate=2.0,
+            departure="linger",
+            linger_rounds=2,
+            arrival_completion=0.5,
+        )
+        config = SwarmConfig(
+            leechers=12, seeds=1, piece_count=40, rounds=15, start_completion=0.2
+        )
+        run_both(config, seed=31, scenario=scenario)
+
+    def test_capped_arrivals_allow_early_exit(self):
+        """With max_arrivals exhausted the early completion exit re-arms."""
+        scenario = ScenarioSchedule(
+            arrivals="poisson", arrival_rate=4.0, max_arrivals=6, departure="leave"
+        )
+        config = SwarmConfig(
+            leechers=10, seeds=2, piece_count=20, rounds=60, start_completion=0.5
+        )
+        reference, fast = run_both(config, seed=37, scenario=scenario)
+        assert reference.arrivals == 6
+        assert reference.rounds_run < config.rounds
+
+    def test_departures_prune_active_neighbor_sets(self):
+        scenario = make_scenario("poisson")
+        config = SwarmConfig(
+            leechers=16, seeds=1, piece_count=30, rounds=20, start_completion=0.5
+        )
+        reference, fast = run_both(config, seed=41, scenario=scenario)
+        assert reference.departures > 0
+        departed = {
+            pid for pid, p in reference.peers.items() if p.departed_round is not None
+        }
+        for result in (reference, fast):
+            for peer in result.present_peers():
+                assert not (peer.neighbors & departed)
+
+    @pytest.mark.slow
+    @_settings
+    @given(
+        scenario=scenario_schedules(),
+        leechers=st.integers(min_value=4, max_value=16),
+        seeds=st.integers(min_value=0, max_value=2),
+        piece_count=st.integers(min_value=8, max_value=40),
+        rounds=st.integers(min_value=2, max_value=14),
+        start_completion=st.sampled_from([0.0, 0.3, 0.7]),
+        policy=st.sampled_from(["rarest-first", "random", "sequential"]),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_scenario_equivalence_property(
+        self,
+        scenario,
+        leechers,
+        seeds,
+        piece_count,
+        rounds,
+        start_completion,
+        policy,
+        seed,
+    ):
+        """fast == reference bit-for-bit over the whole scenario space."""
+        config = SwarmConfig(
+            leechers=leechers,
+            seeds=seeds,
+            piece_count=piece_count,
+            rounds=rounds,
+            start_completion=start_completion,
+            piece_selection=policy,
+            announce_size=5,
+        )
+        run_both(config, seed=seed, scenario=scenario)
 
 
 class TestSwarmDeterminism:
@@ -334,6 +502,42 @@ class TestFastComponents:
         fast.announce(1, rng)
         with pytest.raises(ValueError):
             fast.announce(5, rng)
+
+    def test_fast_tracker_matches_reference_under_churn(self):
+        """Interleaved announces and departures stay id-for-id identical."""
+        reference = Tracker(announce_size=4)
+        fast = FastTracker(announce_size=4)
+        ref_rng = RandomSource(19).stream("tracker")
+        fast_rng = RandomSource(19).stream("tracker")
+        departures = {8: [3, 5], 12: [1], 16: [9, 11, 2]}
+        for pid in range(1, 25):
+            ref_contacts = reference.announce(pid, ref_rng)
+            fast_contacts = fast.announce(pid, fast_rng)
+            assert ref_contacts == [int(x) for x in fast_contacts]
+            for gone in departures.get(pid, []):
+                reference.depart(gone)
+                fast.depart(gone)
+            assert reference.known_peers() == fast.known_peers()
+            assert reference.swarm_size == fast.swarm_size
+
+    def test_bitfield_matrix_growth(self):
+        matrix = BitfieldMatrix(2, 11)
+        matrix.fill(0, [0, 9])
+        matrix.set_complete(1)
+        first = matrix.add_peers(3)
+        assert first == 2
+        assert matrix.n_peers == 5
+        assert matrix.capacity >= 5
+        # Existing rows survive the reallocation, new rows are empty.
+        assert matrix.to_bitfield(0).held() == {0, 9}
+        assert matrix.is_complete(1)
+        for fresh in range(2, 5):
+            assert matrix.to_bitfield(fresh).held() == set()
+        matrix.add(3, 7)
+        assert matrix.have_count[:5].tolist() == [2, 11, 0, 1, 0]
+        assert matrix.unpack_row(3).sum() == 1
+        # availability only counts live rows, even below capacity.
+        assert matrix.availability().sum() == 2 + 11 + 1
 
     def test_batched_regular_slots_ordering(self):
         # One peer (0) with four contributors; ranked by (-volume, id).
