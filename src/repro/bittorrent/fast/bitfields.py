@@ -122,7 +122,9 @@ class BitfieldMatrix:
 
     def indices(self, packed_row: np.ndarray) -> np.ndarray:
         """Ascending piece indices set in a packed row."""
-        return np.flatnonzero(np.unpackbits(packed_row, count=self.piece_count))
+        # .nonzero()[0] on the already-1D unpacked row skips the ravel and
+        # dispatch layers of np.flatnonzero -- this runs once per transfer.
+        return np.unpackbits(packed_row, count=self.piece_count).nonzero()[0]
 
     def availability(self) -> np.ndarray:
         """Replication level of every piece across all allocated rows.

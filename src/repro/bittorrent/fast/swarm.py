@@ -340,17 +340,25 @@ class FastSwarmSimulator:
         )
         transfers: List[Tuple[int, int, float]] = []
         regular_pairs: Set[Tuple[int, int]] = set()
-        indptr = self.indptr
         round_seconds = config.round_seconds
-        for i in range(self.n_total):
-            lo, hi = indptr[i], indptr[i + 1]
-            if lo == hi:
-                continue  # departed peers have empty segments
-            segment = interested[lo:hi]
-            if not segment.any():
-                continue
-            interested_ids = self.adj_pid[lo:hi][segment].tolist()
-            if self.is_seed[i]:
+        # One vectorized pass finds the peers with at least one interested
+        # edge and their per-peer candidate lists; the Python loop below
+        # then only visits *active* peers, in the same ascending dense-id
+        # order as iterating every row, so the shared random stream is
+        # consumed draw for draw as before.
+        active_edges = np.flatnonzero(interested)
+        if active_edges.size == 0:
+            return transfers, regular_pairs
+        owners = self.edge_peer.take(active_edges)  # ascending (CSR order)
+        partner_ids = self.adj_pid.take(active_edges).tolist()
+        starts = np.flatnonzero(np.r_[True, owners[1:] != owners[:-1]]).tolist()
+        ends = starts[1:] + [owners.size]
+        owner_at = owners[starts].tolist()
+        is_seed = self.is_seed
+        uploads = self.uploads
+        for i, lo, hi in zip(owner_at, starts, ends):
+            interested_ids = partner_ids[lo:hi]
+            if is_seed[i]:
                 regular: List[int] = []
                 unchoked = self.chokers.seed_unchoke(interested_ids, rng)
             else:
@@ -362,7 +370,7 @@ class FastSwarmSimulator:
                 continue
             for target in regular:
                 regular_pairs.add((i + 1, target))
-            budget_kbit = self.uploads[i] * round_seconds
+            budget_kbit = uploads[i] * round_seconds
             share = budget_kbit / len(unchoked)
             for target in unchoked:
                 transfers.append((i, target - 1, share))
@@ -394,46 +402,80 @@ class FastSwarmSimulator:
         but within one transfer the availability of the *remaining* wanted
         pieces never changes (only the chosen piece's count moves, and it
         leaves the set).  Rarest-first therefore pre-sorts the wanted
-        pieces into rarity tiers once and consumes them tier by tier; each
-        pick is one bounded-integer draw, which is exactly what
-        ``Generator.choice`` consumes, so the random stream stays
-        draw-for-draw identical to the reference selectors.
+        pieces into rarity tiers once and consumes them tier by tier.
+
+        The random draws batch: the sequence of pick bounds (tier size,
+        tier size - 1, ...) is fully determined *before* any pick, and
+        ``Generator.integers(0, bounds_array)`` consumes the bit stream
+        element for element exactly like the equivalent sequence of scalar
+        ``integers(0, bound)`` calls (Lemire bounded generation either
+        way).  One vectorized draw therefore replaces the per-piece Python
+        RNG calls while staying draw-for-draw identical to the reference
+        selectors -- the equivalence suite holds bit-for-bit.
         """
         piece_size = self.config.piece_size_kbit
         policy = self.config.piece_selection
         taken: List[int] = []
+        total = wanted_idx.shape[0]
+
+        # The pick count replays the reference control flow exactly --
+        # subtract-while-credit-covers-a-piece -- because repeated float
+        # subtraction is not generally the same as one floor division.
+        # ``remaining`` is the credit after those subtractions, i.e. the
+        # exact float the reference loop would leave behind.
+        remaining = credit
+        max_picks = 0
+        while remaining >= piece_size and max_picks < total:
+            remaining -= piece_size
+            max_picks += 1
+        if max_picks == 0:
+            return credit, 0
 
         if policy == "rarest-first":
-            avail = self.counts[wanted_idx]
-            order = np.lexsort((wanted_idx, avail))
-            queue = wanted_idx[order].tolist()
-            tier_counts = avail[order].tolist()
-            total = len(queue)
-            position = 0
-            tier: List[int] = []
-            while credit >= piece_size and (tier or position < total):
-                if not tier:
-                    level = tier_counts[position]
-                    end = position
-                    while end < total and tier_counts[end] == level:
-                        end += 1
-                    tier = queue[position:end]
-                    position = end
-                taken.append(tier.pop(rng.integers(0, len(tier))))
-                credit -= piece_size
+            avail = self.counts.take(wanted_idx)
+            # ``wanted_idx`` is ascending, so a stable sort on availability
+            # alone equals the reference lexsort((piece, avail)) ordering.
+            order = np.argsort(avail, kind="stable")
+            queue = wanted_idx.take(order)
+            levels = avail.take(order)
+            cuts = (levels[1:] != levels[:-1]).nonzero()[0]
+            starts = [0] + (cuts + 1).tolist()
+            ends = starts[1:] + [total]
+            bounds: List[int] = []
+            plan: List[Tuple[int, int, int]] = []  # (start, end, picks)
+            picks_left = max_picks
+            for tier_start, tier_end in zip(starts, ends):
+                size = tier_end - tier_start
+                take = size if size < picks_left else picks_left
+                plan.append((tier_start, tier_end, take))
+                bounds.extend(range(size, size - take, -1))
+                picks_left -= take
+                if picks_left == 0:
+                    break
+            if len(bounds) == 1:
+                draws = [rng.integers(0, bounds[0])]
+            else:
+                draws = rng.integers(0, np.asarray(bounds, dtype=np.int64)).tolist()
+            cursor = 0
+            for tier_start, tier_end, take in plan:
+                tier = queue[tier_start:tier_end].tolist()
+                for _ in range(take):
+                    taken.append(tier.pop(draws[cursor]))
+                    cursor += 1
         elif policy == "random":
+            if max_picks == 1:
+                draws = [rng.integers(0, total)]
+            else:
+                draws = rng.integers(
+                    0, np.arange(total, total - max_picks, -1, dtype=np.int64)
+                ).tolist()
             pool = wanted_idx.tolist()
-            while credit >= piece_size and pool:
-                taken.append(pool.pop(rng.integers(0, len(pool))))
-                credit -= piece_size
+            for draw in draws:
+                taken.append(pool.pop(draw))
         else:  # sequential: lowest index first, no randomness
-            pool = wanted_idx.tolist()
-            position = 0
-            while credit >= piece_size and position < len(pool):
-                taken.append(pool[position])
-                position += 1
-                credit -= piece_size
+            taken = wanted_idx[:max_picks].tolist()
 
+        credit = remaining
         gained = len(taken)
         if gained:
             # The loop above never re-reads bitfield or availability state
@@ -470,9 +512,15 @@ class FastSwarmSimulator:
         for sender, receiver, volume_kbit in transfers:
             if have[receiver] == piece_count:
                 continue  # a complete receiver wants nothing
-            wanted_bytes = bitfields.wanted_bytes(sender, receiver)
-            if not wanted_bytes.any():
-                continue
+            # A complete sender always has something an incomplete receiver
+            # misses, so the byte-mask test (and its allocation) is only
+            # needed for partially-complete senders.
+            if have[sender] == piece_count:
+                wanted_bytes = None
+            else:
+                wanted_bytes = bitfields.wanted_bytes(sender, receiver)
+                if not wanted_bytes.any():
+                    continue
             uploaded[sender] += volume_kbit
             downloaded[receiver] += volume_kbit
             by_sender = received_now.setdefault(receiver + 1, {})
@@ -487,6 +535,8 @@ class FastSwarmSimulator:
             partial_r = partial.setdefault(receiver, {})
             credit = partial_r.get(sender, 0.0) + volume_kbit
             if credit >= piece_size:
+                if wanted_bytes is None:
+                    wanted_bytes = bitfields.wanted_bytes(sender, receiver)
                 wanted_idx = bitfields.indices(wanted_bytes)
                 credit, gained = self._acquire_pieces(
                     receiver, wanted_idx, credit, rng

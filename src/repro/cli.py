@@ -7,8 +7,11 @@ series summary.  ``repro-p2p list`` shows the available experiment names.
 from __future__ import annotations
 
 import argparse
+import cProfile
 import inspect
+import pstats
 import sys
+from pathlib import Path
 from typing import Callable, Dict, Optional, Sequence
 
 import numpy as np
@@ -16,9 +19,14 @@ import numpy as np
 from repro import experiments
 from repro.bittorrent.scenarios import SCENARIO_NAMES
 from repro.core.exceptions import ENGINES
+from repro.sim.parallel import ResultCache, source_fingerprint
 from repro.sim.results import ResultTable
 
 __all__ = ["main", "build_parser"]
+
+# Default location of the on-disk result cache.  A module-level constant so
+# embedders (and the test suite) can redirect it before ``build_parser``.
+DEFAULT_CACHE_DIR = Path(".repro-cache")
 
 
 def _print_series(series: Dict[str, Dict[str, np.ndarray]]) -> None:
@@ -112,10 +120,60 @@ def build_parser() -> argparse.ArgumentParser:
             "scenarios are bit-identical across engines"
         ),
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "process-pool width for the sweep-style experiments "
+            "(figure1/2/3/6, table1, swarm, scenario-timeline); results are "
+            "bit-identical for any value, 1 runs inline"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=DEFAULT_CACHE_DIR,
+        help=(
+            "directory of the on-disk result cache (content-addressed by "
+            "config + seed + engine + version); re-running an experiment "
+            "replays its cached points instantly"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache (every point is recomputed)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "run the selected experiment under cProfile and print the top 25 "
+            "cumulative hot spots (forces --workers 1 and disables the cache "
+            "so the measured work stays in this process)"
+        ),
+    )
     return parser
 
 
-def _runner_kwargs(runner: Callable[..., object], args: argparse.Namespace) -> Dict[str, object]:
+def _build_cache(args: argparse.Namespace) -> Optional[ResultCache]:
+    """The CLI's result cache, or ``None`` when caching is off.
+
+    Unlike the bare library key (config + seed + engine + version), the
+    CLI folds a fingerprint of the installed sources into every entry, so
+    editing a simulator can never silently replay pre-edit results.
+    """
+    if args.no_cache or getattr(args, "profile", False):
+        return None
+    return ResultCache(args.cache_dir, extra_key=source_fingerprint())
+
+
+def _runner_kwargs(
+    runner: Callable[..., object],
+    args: argparse.Namespace,
+    cache: Optional[ResultCache] = None,
+) -> Dict[str, object]:
     """Thread only the CLI options the experiment driver actually accepts."""
     parameters = inspect.signature(runner).parameters
     kwargs: Dict[str, object] = {}
@@ -125,7 +183,24 @@ def _runner_kwargs(runner: Callable[..., object], args: argparse.Namespace) -> D
         kwargs["engine"] = args.engine
     if "scenario" in parameters and args.scenario is not None:
         kwargs["scenario"] = args.scenario
+    if "workers" in parameters:
+        kwargs["workers"] = 1 if getattr(args, "profile", False) else args.workers
+    if "cache" in parameters and cache is not None:
+        kwargs["cache"] = cache
     return kwargs
+
+
+def _profiled(call: Callable[[], object]) -> object:
+    """Run ``call`` under cProfile; print the top 25 cumulative hot spots."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = call()
+    finally:
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.sort_stats("cumulative").print_stats(25)
+    return result
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -133,16 +208,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
+    if args.workers < 1:
+        parser.error("--workers must be >= 1")
+
     if args.experiment == "list":
         for name in sorted(_EXPERIMENTS):
             print(name)
         return 0
 
     names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    cache = _build_cache(args)
     for name in names:
         print(f"### {name}")
         runner = _EXPERIMENTS[name]
-        result = runner(**_runner_kwargs(runner, args))
+        kwargs = _runner_kwargs(runner, args, cache)
+        if args.profile:
+            result = _profiled(lambda: runner(**kwargs))
+        else:
+            result = runner(**kwargs)
         _print_result(result)
         print()
     return 0

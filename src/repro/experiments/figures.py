@@ -10,11 +10,10 @@ each docstring and in EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-from repro.analytical.b_matching import independent_b_matching
 from repro.analytical.distributions import MateDistribution
 from repro.analytical.exact_small import figure7_exact_values, figure7_independent_values
 from repro.analytical.one_matching import independent_one_matching
@@ -25,10 +24,10 @@ from repro.bittorrent.scenarios import resolve_scenario
 from repro.bittorrent.swarm import SwarmConfig, SwarmSimulator, stratification_index
 from repro.core.churn import ChurnConfig, simulate_churn
 from repro.core.dynamics import simulate_convergence, simulate_peer_removal
+from repro.sim.parallel import CacheLike, SeedTree, SweepTask, run_sweep
 from repro.sim.results import ResultTable
 from repro.stratification.clustering import analyze_complete_matching
 from repro.stratification.bvalues import constant_slots
-from repro.stratification.mmo import mmo_constant_matching
 from repro.stratification.phase_transition import sigma_sweep, table1 as _table1
 
 __all__ = [
@@ -48,34 +47,68 @@ __all__ = [
 ]
 
 
+def _figure1_point(
+    n: int, d: float, seed: int, max_base_units: float, engine: str
+) -> Dict[str, np.ndarray]:
+    """One Figure 1 trajectory -- a self-contained sweep task."""
+    result = simulate_convergence(
+        n, d, seed=seed, max_base_units=max_base_units, engine=engine
+    )
+    times, values = result.trajectory.as_arrays()
+    return {
+        "initiatives_per_peer": times,
+        "disorder": values,
+        "time_to_converge": np.asarray(
+            [result.time_to_converge if result.time_to_converge is not None else np.nan]
+        ),
+    }
+
+
 def figure1_convergence(
     parameters: Sequence[tuple] = ((100, 50), (1000, 10), (1000, 50)),
     *,
     seed: int = 0,
     max_base_units: float = 40.0,
     engine: str = "reference",
+    workers: int = 1,
+    cache: CacheLike = None,
 ) -> Dict[str, Dict[str, np.ndarray]]:
     """Figure 1: disorder trajectories from the empty configuration.
 
     Paper parameters: 1-matching on G(n, d) for (n, d) in
     {(100, 50), (1000, 10), (1000, 50)}, best-mate initiatives.  Pass
     ``engine="fast"`` to run paper-scale (or larger) systems on the
-    vectorized backend; trajectories are identical either way.
+    vectorized backend; trajectories are identical either way.  ``workers``
+    fans the (n, d) points out across processes and ``cache`` replays
+    previously computed points, both bit-identically.
     """
-    series: Dict[str, Dict[str, np.ndarray]] = {}
-    for index, (n, d) in enumerate(parameters):
-        result = simulate_convergence(
-            n, d, seed=seed + index, max_base_units=max_base_units, engine=engine
+    tasks = [
+        SweepTask(
+            _figure1_point,
+            dict(n=n, d=d, seed=seed + index, max_base_units=max_base_units, engine=engine),
+            label=f"figure1[n={n},d={d}]",
         )
-        times, values = result.trajectory.as_arrays()
-        series[f"n={n},d={d}"] = {
-            "initiatives_per_peer": times,
-            "disorder": values,
-            "time_to_converge": np.asarray(
-                [result.time_to_converge if result.time_to_converge is not None else np.nan]
-            ),
-        }
-    return series
+        for index, (n, d) in enumerate(parameters)
+    ]
+    outputs = run_sweep(tasks, workers=workers, cache=cache)
+    return {
+        f"n={n},d={d}": output for (n, d), output in zip(parameters, outputs)
+    }
+
+
+def _figure2_point(
+    n: int, expected_degree: float, peer: int, seed: int, max_base_units: float, engine: str
+) -> Dict[str, np.ndarray]:
+    """One Figure 2 removal experiment -- a self-contained sweep task."""
+    result = simulate_peer_removal(
+        n, expected_degree, peer, seed=seed, max_base_units=max_base_units, engine=engine
+    )
+    times, values = result.trajectory.as_arrays()
+    return {
+        "initiatives_per_peer": times,
+        "disorder": values,
+        "max_disorder": np.asarray([values.max() if values.size else 0.0]),
+    }
 
 
 def figure2_peer_removal(
@@ -86,29 +119,60 @@ def figure2_peer_removal(
     seed: int = 0,
     max_base_units: float = 10.0,
     engine: str = "reference",
+    workers: int = 1,
+    cache: CacheLike = None,
 ) -> Dict[str, Dict[str, np.ndarray]]:
     """Figure 2: re-convergence after removing one peer from the stable state.
 
     Paper parameters: 1000 peers, 1-matching, 10 neighbors per peer, removed
     peer rank in {1, 100, 300, 600}.
     """
-    series: Dict[str, Dict[str, np.ndarray]] = {}
-    for index, peer in enumerate(removed_peers):
-        result = simulate_peer_removal(
-            n,
-            expected_degree,
-            peer,
-            seed=seed + index,
-            max_base_units=max_base_units,
-            engine=engine,
+    tasks = [
+        SweepTask(
+            _figure2_point,
+            dict(
+                n=n,
+                expected_degree=expected_degree,
+                peer=peer,
+                seed=seed + index,
+                max_base_units=max_base_units,
+                engine=engine,
+            ),
+            label=f"figure2[peer={peer}]",
         )
-        times, values = result.trajectory.as_arrays()
-        series[f"peer {peer} removed"] = {
-            "initiatives_per_peer": times,
-            "disorder": values,
-            "max_disorder": np.asarray([values.max() if values.size else 0.0]),
-        }
-    return series
+        for index, peer in enumerate(removed_peers)
+    ]
+    outputs = run_sweep(tasks, workers=workers, cache=cache)
+    return {
+        f"peer {peer} removed": output
+        for peer, output in zip(removed_peers, outputs)
+    }
+
+
+def _figure3_point(
+    n: int,
+    expected_degree: float,
+    churn_rate: float,
+    seed: int,
+    max_base_units: float,
+    engine: str,
+) -> Dict[str, np.ndarray]:
+    """One Figure 3 churn trajectory -- a self-contained sweep task."""
+    config = ChurnConfig(
+        n=n,
+        expected_degree=expected_degree,
+        churn_rate=churn_rate,
+        max_base_units=max_base_units,
+        engine=engine,
+    )
+    result = simulate_churn(config, seed=seed)
+    times, values = result.trajectory.as_arrays()
+    return {
+        "initiatives_per_peer": times,
+        "disorder": values,
+        "mean_disorder": np.asarray([result.mean_disorder]),
+        "tail_disorder": np.asarray([result.trajectory.tail_mean(0.25)]),
+    }
 
 
 def figure3_churn(
@@ -119,30 +183,34 @@ def figure3_churn(
     seed: int = 0,
     max_base_units: float = 20.0,
     engine: str = "reference",
+    workers: int = 1,
+    cache: CacheLike = None,
 ) -> Dict[str, Dict[str, np.ndarray]]:
     """Figure 3: disorder under churn, starting from the empty configuration.
 
     Paper parameters: 1000 peers, 1-matching, 10 neighbors per peer, churn
     in {0, 0.5, 3, 10, 30} events per 1000 initiatives.
     """
-    series: Dict[str, Dict[str, np.ndarray]] = {}
-    for index, rate in enumerate(churn_rates):
-        config = ChurnConfig(
-            n=n,
-            expected_degree=expected_degree,
-            churn_rate=rate,
-            max_base_units=max_base_units,
-            engine=engine,
+    tasks = [
+        SweepTask(
+            _figure3_point,
+            dict(
+                n=n,
+                expected_degree=expected_degree,
+                churn_rate=rate,
+                seed=seed + index,
+                max_base_units=max_base_units,
+                engine=engine,
+            ),
+            label=f"figure3[churn={rate:g}]",
         )
-        result = simulate_churn(config, seed=seed + index)
-        times, values = result.trajectory.as_arrays()
+        for index, rate in enumerate(churn_rates)
+    ]
+    outputs = run_sweep(tasks, workers=workers, cache=cache)
+    series: Dict[str, Dict[str, np.ndarray]] = {}
+    for rate, output in zip(churn_rates, outputs):
         label = "no churn" if rate == 0 else f"churn={rate * 1000:g}/1000"
-        series[label] = {
-            "initiatives_per_peer": times,
-            "disorder": values,
-            "mean_disorder": np.asarray([result.mean_disorder]),
-            "tail_disorder": np.asarray([result.trajectory.tail_mean(0.25)]),
-        }
+        series[label] = output
     return series
 
 
@@ -184,12 +252,26 @@ def figure6_phase_transition(
     repetitions: int = 2,
     seed: int = 0,
     engine: str = "reference",
+    workers: int = 1,
+    cache: CacheLike = None,
 ) -> ResultTable:
-    """Figure 6: mean cluster size and MMO as a function of sigma (b_mean = 6)."""
+    """Figure 6: mean cluster size and MMO as a function of sigma (b_mean = 6).
+
+    Every (sigma, repetition) replication is an independent sweep task:
+    ``workers=N`` runs them N at a time and ``cache`` replays computed
+    points, with a bit-identical table either way.
+    """
     if sigmas is None:
         sigmas = [0.0, 0.05, 0.1, 0.15, 0.2, 0.3, 0.5, 0.75, 1.0, 1.5, 2.0]
     points = sigma_sweep(
-        n, b_mean, list(sigmas), repetitions=repetitions, seed=seed, engine=engine
+        n,
+        b_mean,
+        list(sigmas),
+        repetitions=repetitions,
+        seed=seed,
+        engine=engine,
+        workers=workers,
+        cache=cache,
     )
     table = ResultTable(
         title=f"Figure 6: N({b_mean:g}, sigma) matching on a complete graph (n={n})",
@@ -213,10 +295,19 @@ def table1_clustering(
     repetitions: int = 2,
     seed: int = 0,
     engine: str = "reference",
+    workers: int = 1,
+    cache: CacheLike = None,
 ) -> ResultTable:
     """Table 1: cluster size and MMO, constant vs N(b, 0.2) matching."""
     rows = _table1(
-        b_values, sigma=sigma, n=n, repetitions=repetitions, seed=seed, engine=engine
+        b_values,
+        sigma=sigma,
+        n=n,
+        repetitions=repetitions,
+        seed=seed,
+        engine=engine,
+        workers=workers,
+        cache=cache,
     )
     table = ResultTable(
         title="Table 1: clustering and stratification in a complete knowledge graph",
@@ -367,26 +458,15 @@ def figure11_efficiency(
     }
 
 
-def swarm_stratification_experiment(
-    *,
-    leechers: int = 40,
-    rounds: int = 80,
-    piece_count: int = 600,
-    seed: int = 0,
-    engine: str = "reference",
-    scenario: "str | None" = None,
+def _swarm_point(
+    leechers: int,
+    rounds: int,
+    piece_count: int,
+    seed: int,
+    engine: str,
+    scenario: "str | None",
 ) -> Dict[str, float]:
-    """End-to-end check that a TFT swarm stratifies by bandwidth (Section 6).
-
-    Runs the full swarm simulator with a moderately heterogeneous bandwidth
-    population and reports the reciprocal-TFT stratification index together
-    with the correlation between upload capacity and achieved download rate.
-    Pass ``engine="fast"`` (bit-identical results) for thousands of
-    leechers and beyond, and ``scenario`` (a preset name or a
-    :class:`~repro.bittorrent.scenarios.ScenarioSchedule`) to measure the
-    same statistics on a churning swarm instead of the paper's assumed
-    fixed post-flash-crowd population.
-    """
+    """One seeded swarm replication -- a self-contained sweep task."""
     rng = np.random.default_rng(seed)
     bandwidths = np.exp(rng.uniform(np.log(100.0), np.log(2000.0), leechers))
     config = SwarmConfig(
@@ -419,6 +499,97 @@ def swarm_stratification_experiment(
     }
 
 
+def swarm_stratification_experiment(
+    *,
+    leechers: int = 40,
+    rounds: int = 80,
+    piece_count: int = 600,
+    seed: int = 0,
+    engine: str = "reference",
+    scenario: "str | None" = None,
+    repetitions: int = 1,
+    workers: int = 1,
+    cache: CacheLike = None,
+) -> Dict[str, float]:
+    """End-to-end check that a TFT swarm stratifies by bandwidth (Section 6).
+
+    Runs the full swarm simulator with a moderately heterogeneous bandwidth
+    population and reports the reciprocal-TFT stratification index together
+    with the correlation between upload capacity and achieved download rate.
+    Pass ``engine="fast"`` (bit-identical results) for thousands of
+    leechers and beyond, and ``scenario`` (a preset name or a
+    :class:`~repro.bittorrent.scenarios.ScenarioSchedule`) to measure the
+    same statistics on a churning swarm instead of the paper's assumed
+    fixed post-flash-crowd population.
+
+    ``repetitions > 1`` turns the single run into a Monte-Carlo estimate:
+    repetition 0 keeps the historical seed (so the default is unchanged);
+    further repetitions draw their seeds from the
+    :class:`~repro.sim.parallel.SeedTree` rooted at ``seed``, run ``workers``
+    at a time, and the returned metrics are the across-repetition means
+    (plus ``"repetitions"``).
+    """
+    if repetitions <= 0:
+        raise ValueError("repetitions must be positive")
+    tree = SeedTree(seed)
+    seeds = [seed] + [tree.child("swarm-replication", k) for k in range(1, repetitions)]
+    tasks = [
+        SweepTask(
+            _swarm_point,
+            dict(
+                leechers=leechers,
+                rounds=rounds,
+                piece_count=piece_count,
+                seed=task_seed,
+                engine=engine,
+                scenario=scenario,
+            ),
+            label=f"swarm#rep{k}",
+        )
+        for k, task_seed in enumerate(seeds)
+    ]
+    outputs = run_sweep(tasks, workers=workers, cache=cache)
+    if repetitions == 1:
+        return outputs[0]
+    averaged = {
+        key: float(np.mean([out[key] for out in outputs])) for key in outputs[0]
+    }
+    averaged["repetitions"] = float(repetitions)
+    return averaged
+
+
+def _timeline_point(
+    leechers: int,
+    piece_count: int,
+    seed: int,
+    engine: str,
+    scenario: "str | None",
+    horizon: int,
+) -> Dict[str, float]:
+    """One timeline checkpoint (a full run to ``horizon``) -- a sweep task."""
+    config = SwarmConfig(
+        leechers=leechers,
+        seeds=2,
+        piece_count=piece_count,
+        rounds=horizon,
+        start_completion=0.25,
+        seed_upload_kbps=2000.0,
+    )
+    result = SwarmSimulator(
+        config, seed=seed, engine=engine, scenario=resolve_scenario(scenario)
+    ).run()
+    return {
+        "stratification_index": stratification_index(result),
+        "volume_stratification_index": stratification_index(
+            result, use_tft_pairs=False
+        ),
+        "swarm_size": float(len(result.present_peers())),
+        "arrivals": float(result.arrivals),
+        "departures": float(result.departures),
+        "completed": float(result.completed),
+    }
+
+
 def scenario_stratification_timeline(
     *,
     leechers: int = 30,
@@ -427,6 +598,8 @@ def scenario_stratification_timeline(
     engine: str = "reference",
     scenario: "str | None" = "poisson",
     checkpoints: Sequence[int] = (10, 20, 30, 45, 60),
+    workers: int = 1,
+    cache: CacheLike = None,
 ) -> Dict[str, Dict[str, np.ndarray]]:
     """Stratification index over time while the swarm churns.
 
@@ -436,40 +609,47 @@ def scenario_stratification_timeline(
     simulation with a longer horizon under the same seed: the round loop
     draws only from the past, so a shorter run is draw-for-draw a prefix
     of a longer one and every checkpoint is an exact snapshot (on either
-    engine -- they stay bit-identical under churn).
+    engine -- they stay bit-identical under churn).  The checkpoints are
+    independent runs, so they parallelize (``workers``) and cache
+    per-horizon.
     """
     scenario_schedule = resolve_scenario(scenario)
     label = scenario if isinstance(scenario, str) else scenario_schedule.arrivals
     horizons = sorted({int(r) for r in checkpoints if int(r) > 0})
     if not horizons:
         raise ValueError("need at least one positive checkpoint")
-    index, volume_index, sizes, arrivals, departures, completed = [], [], [], [], [], []
-    for horizon in horizons:
-        config = SwarmConfig(
-            leechers=leechers,
-            seeds=2,
-            piece_count=piece_count,
-            rounds=horizon,
-            start_completion=0.25,
-            seed_upload_kbps=2000.0,
+    tasks = [
+        SweepTask(
+            _timeline_point,
+            dict(
+                leechers=leechers,
+                piece_count=piece_count,
+                seed=seed,
+                engine=engine,
+                scenario=scenario,
+                horizon=horizon,
+            ),
+            label=f"timeline[rounds={horizon}]",
         )
-        result = SwarmSimulator(
-            config, seed=seed, engine=engine, scenario=scenario_schedule
-        ).run()
-        index.append(stratification_index(result))
-        volume_index.append(stratification_index(result, use_tft_pairs=False))
-        sizes.append(len(result.present_peers()))
-        arrivals.append(result.arrivals)
-        departures.append(result.departures)
-        completed.append(result.completed)
+        for horizon in horizons
+    ]
+    outputs = run_sweep(tasks, workers=workers, cache=cache)
     return {
         f"scenario={label}": {
             "rounds": np.asarray(horizons, dtype=float),
-            "stratification_index": np.asarray(index),
-            "volume_stratification_index": np.asarray(volume_index),
-            "swarm_size": np.asarray(sizes, dtype=float),
-            "arrivals": np.asarray(arrivals, dtype=float),
-            "departures": np.asarray(departures, dtype=float),
-            "completed": np.asarray(completed, dtype=float),
+            "stratification_index": np.asarray(
+                [out["stratification_index"] for out in outputs]
+            ),
+            "volume_stratification_index": np.asarray(
+                [out["volume_stratification_index"] for out in outputs]
+            ),
+            "swarm_size": np.asarray(
+                [out["swarm_size"] for out in outputs], dtype=float
+            ),
+            "arrivals": np.asarray([out["arrivals"] for out in outputs], dtype=float),
+            "departures": np.asarray(
+                [out["departures"] for out in outputs], dtype=float
+            ),
+            "completed": np.asarray([out["completed"] for out in outputs], dtype=float),
         }
     }

@@ -1,0 +1,457 @@
+"""Parallel sweep orchestration: seed trees, process pools, result cache.
+
+The paper's headline numbers (the Figure 6 phase transition, Table 1, the
+stratification sweeps) are Monte-Carlo estimates over many independent
+seeded runs.  Every run is a pure function of ``(config, seed, engine)``,
+which makes the sweep loops embarrassingly parallel -- *if* the seeds of
+the individual tasks are derived deterministically up front rather than
+from shared mutable RNG state.  This module provides that throughput layer:
+
+* :class:`SeedTree` -- a ``SeedSequence``-style deterministic seed
+  hierarchy layered on the library's :func:`~repro.sim.random_source.
+  derive_seed`, so a task's seed depends only on its position in the
+  tree, never on scheduling order.
+* :class:`SweepTask` -- one ``(function, kwargs)`` cell of a sweep; the
+  function must be a module-level callable (picklable by reference) and
+  the kwargs plain data, so the task can cross a ``spawn`` process
+  boundary unchanged.
+* :class:`SweepRunner` -- maps tasks onto a ``ProcessPoolExecutor`` with
+  chunked submission and *ordered* aggregation.  ``workers=1`` runs the
+  tasks inline; because every task owns its seed, ``workers=8`` returns
+  bit-identical results in the same order.
+* :class:`ResultCache` -- an opt-in, content-addressed on-disk cache.
+  The key is the SHA-256 of the canonical JSON of
+  ``{function, config, seed, engine, version}``; numpy arrays round-trip
+  bit-exactly (raw little-endian bytes, base64), so a warm re-run of a
+  figure replays its points without touching the simulators.
+
+The experiment drivers (:mod:`repro.experiments.figures`,
+:mod:`repro.stratification.phase_transition`) route their replication
+loops through :func:`run_sweep`; ``repro-p2p --workers N`` threads the
+pool width from the CLI.
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+import hashlib
+import json
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from repro.sim.random_source import RandomSource, derive_seed
+from repro.version import __version__
+
+__all__ = [
+    "SeedTree",
+    "SweepTask",
+    "ResultCache",
+    "SweepRunner",
+    "run_sweep",
+    "canonical_json",
+    "source_fingerprint",
+    "CacheLike",
+]
+
+
+# What driver ``cache=`` parameters accept: nothing, a directory, or a
+# ready-made ResultCache.  (Forward reference; ResultCache is defined below.)
+CacheLike = Union[None, str, Path, "ResultCache"]
+
+
+# -- deterministic seed trees ----------------------------------------------------
+
+
+class SeedTree:
+    """A deterministic hierarchy of seeds rooted at a master seed.
+
+    Children are addressed by a path of labels; the derivation chains
+    :func:`~repro.sim.random_source.derive_seed` (SHA-256 based), so
+
+    * the same path always yields the same seed,
+    * sibling seeds are effectively independent, and
+    * a child seed feeds straight into :class:`~repro.sim.random_source.
+      RandomSource`, whose *named streams* then form the next layer of
+      the tree.
+
+    Examples
+    --------
+    >>> tree = SeedTree(42)
+    >>> tree.child("figure6", "sigma=0.2", "rep", 1) == \\
+    ...     SeedTree(42).child("figure6", "sigma=0.2", "rep", 1)
+    True
+    """
+
+    def __init__(self, root: int) -> None:
+        self.root = int(root)
+
+    def child(self, *path: object) -> int:
+        """Derive the seed at ``path`` (labels are stringified)."""
+        if not path:
+            raise ValueError("a child needs at least one path component")
+        seed = self.root
+        for part in path:
+            seed = derive_seed(seed, str(part))
+        return seed
+
+    def subtree(self, *path: object) -> "SeedTree":
+        """The subtree rooted at ``path``."""
+        return SeedTree(self.child(*path))
+
+    def source(self, *path: object) -> RandomSource:
+        """A :class:`RandomSource` rooted at ``path`` (the stream layer)."""
+        return RandomSource(self.child(*path))
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"SeedTree(root={self.root})"
+
+
+# -- canonical serialization -----------------------------------------------------
+
+
+def _plain(value: Any) -> Any:
+    """Reduce a config value to canonical plain data for key hashing."""
+    if isinstance(value, Mapping):
+        for key in value:
+            # Stringifying non-str keys would let {1: a} and {"1": b} hash
+            # to the same cache key; demand str keys instead of colliding.
+            if not isinstance(key, str):
+                raise TypeError(
+                    f"config mappings need str keys for a cache key; got "
+                    f"{type(key).__name__} key {key!r}"
+                )
+        return {k: _plain(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        payload = {k: _plain(v) for k, v in dataclasses.asdict(value).items()}
+        payload["__dataclass__"] = type(value).__qualname__
+        return payload
+    if isinstance(value, np.ndarray):
+        return {"__ndarray__": value.tolist(), "dtype": str(value.dtype)}
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"cannot canonicalize {type(value).__name__} for a cache key")
+
+
+def canonical_json(payload: Mapping[str, Any]) -> str:
+    """Canonical (sorted-key, compact) JSON of a config mapping."""
+    return json.dumps(_plain(payload), sort_keys=True, separators=(",", ":"))
+
+
+def _encode(value: Any) -> Any:
+    """JSON-able encoding of a task result; numpy arrays stay bit-exact."""
+    if isinstance(value, np.ndarray):
+        if value.dtype.kind not in "biufc":
+            # Object/string/datetime arrays do not round-trip through raw
+            # bytes (tobytes() of an object array is pointer garbage);
+            # reject them *before* anything is written to disk.
+            raise TypeError(
+                f"cannot cache an ndarray of dtype {value.dtype}; sweep "
+                "results must use numeric/bool arrays"
+            )
+        contiguous = np.ascontiguousarray(value)
+        return {
+            "__nd__": base64.b64encode(contiguous.tobytes()).decode("ascii"),
+            "dtype": contiguous.dtype.str,
+            "shape": list(contiguous.shape),
+        }
+    if isinstance(value, dict):
+        return {"__dict__": [[_encode(k), _encode(v)] for k, v in value.items()]}
+    if isinstance(value, tuple):
+        return {"__tuple__": [_encode(v) for v in value]}
+    if isinstance(value, list):
+        return [_encode(v) for v in value]
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(
+        f"sweep results must be plain data (dict/list/tuple/scalars/ndarray); "
+        f"got {type(value).__name__}"
+    )
+
+
+def _decode(value: Any) -> Any:
+    """Inverse of :func:`_encode`."""
+    if isinstance(value, dict):
+        if "__nd__" in value:
+            raw = base64.b64decode(value["__nd__"])
+            array = np.frombuffer(raw, dtype=np.dtype(value["dtype"]))
+            return array.reshape(value["shape"]).copy()
+        if "__dict__" in value:
+            return {_decode(k): _decode(v) for k, v in value["__dict__"]}
+        if "__tuple__" in value:
+            return tuple(_decode(v) for v in value["__tuple__"])
+    if isinstance(value, list):
+        return [_decode(v) for v in value]
+    return value
+
+
+# -- sweep tasks -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One cell of a sweep: a module-level function plus plain kwargs.
+
+    ``kwargs`` must fully determine the result (seed and engine included),
+    so the task can be executed in any process -- or not at all, when the
+    cache already holds its result.  ``label`` is a human-readable tag for
+    logs and errors; it is *not* part of the cache key.
+    """
+
+    fn: Callable[..., Any]
+    kwargs: Mapping[str, Any]
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        qualname = getattr(self.fn, "__qualname__", "")
+        if "<locals>" in qualname or getattr(self.fn, "__name__", "") == "<lambda>":
+            raise TypeError(
+                "SweepTask functions must be module-level (picklable by "
+                f"reference); got {qualname or self.fn!r}"
+            )
+
+    def key_payload(self) -> Dict[str, Any]:
+        """The cache-key fields: function, config, seed, engine, version."""
+        kwargs = dict(self.kwargs)
+        return {
+            "function": f"{self.fn.__module__}.{self.fn.__qualname__}",
+            "seed": kwargs.pop("seed", None),
+            "engine": kwargs.pop("engine", None),
+            "config": kwargs,
+            "version": __version__,
+        }
+
+
+# -- on-disk result cache --------------------------------------------------------
+
+
+def source_fingerprint(package: str = "repro") -> str:
+    """A short content hash of the package's Python sources.
+
+    The cache key's ``version`` field only changes when someone bumps
+    ``repro.version``; during development the *code* changes far more
+    often.  Folding this fingerprint into a cache (``extra_key``) makes
+    stale replays impossible at the cost of a cold cache after any source
+    edit -- the CLI does exactly that.
+    """
+    import importlib
+
+    root = Path(next(iter(importlib.import_module(package).__path__)))
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode("utf-8"))
+        digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+class ResultCache:
+    """Content-addressed on-disk cache of sweep-task results.
+
+    Each entry is one JSON file named by the SHA-256 of the canonical key
+    (sharded by the first two hex chars).  Writes go through a temporary
+    file and :func:`os.replace`, so concurrent writers of the *same* key
+    are harmless (last atomic rename wins with identical content) and a
+    crashed run never leaves a truncated entry behind.
+
+    ``extra_key`` is an opaque string folded into every entry's key --
+    pass :func:`source_fingerprint` to invalidate the cache whenever the
+    library sources change (not just the declared version).
+    """
+
+    def __init__(
+        self, directory: Union[str, Path], *, extra_key: Optional[str] = None
+    ) -> None:
+        # The directory is created lazily on first write, so constructing a
+        # cache (e.g. the CLI default) costs nothing until a result lands.
+        self.directory = Path(directory)
+        self.extra_key = extra_key
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def key_for(self, task: SweepTask) -> str:
+        """The content hash addressing ``task``'s entry."""
+        payload = task.key_payload()
+        if self.extra_key is not None:
+            payload["extra"] = self.extra_key
+        return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.json"
+
+    def get(self, task: SweepTask) -> Tuple[bool, Any]:
+        """Look up a task; returns ``(hit, value)``."""
+        path = self._path(self.key_for(task))
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            value = _decode(payload["value"])
+        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+            # Any unreadable or corrupt entry (missing file, permissions,
+            # truncated JSON or array bytes, wrong shape) is just a miss.
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def put(self, task: SweepTask, value: Any) -> Any:
+        """Store a result; returns the value as it will decode on a hit.
+
+        Returning the decoded round-trip (rather than the raw value) is
+        what guarantees cold and warm runs are byte-identical: both paths
+        hand the caller the same decoded representation.
+        """
+        encoded = _encode(value)
+        key = self.key_for(task)
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"key": _plain(task.key_payload()), "value": encoded}
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, separators=(",", ":"))
+        os.replace(tmp, path)
+        self.writes += 1
+        return _decode(encoded)
+
+
+# -- the runner ------------------------------------------------------------------
+
+
+def _run_chunk(payload: Sequence[Tuple[Callable[..., Any], Dict[str, Any]]]) -> List[Any]:
+    """Worker entry point: execute one chunk of (fn, kwargs) pairs in order."""
+    return [fn(**kwargs) for fn, kwargs in payload]
+
+
+class SweepRunner:
+    """Map sweep tasks onto a process pool, deterministically.
+
+    Parameters
+    ----------
+    workers:
+        Pool width.  ``1`` (the default) runs tasks inline in submission
+        order; ``N > 1`` fans them out over a ``spawn``
+        ``ProcessPoolExecutor``.  Results are aggregated in task order
+        either way, and since every task carries its own seed the output
+        is bit-identical for any ``workers``.
+    cache:
+        ``None`` (default, no caching), a directory path, or a
+        :class:`ResultCache`.  Cached tasks are skipped entirely; fresh
+        results are written back after the pool drains.
+    chunk_size:
+        Tasks per pool submission.  Defaults to roughly eight chunks per
+        worker (so small sweeps submit single tasks), trading a little
+        pickle overhead for minimal tail skew when task durations vary.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: CacheLike = None,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1 when given")
+        self.workers = int(workers)
+        self.cache: Optional[ResultCache]
+        if cache is None or isinstance(cache, ResultCache):
+            self.cache = cache
+        else:
+            self.cache = ResultCache(cache)
+        self.chunk_size = chunk_size
+
+    def map(self, tasks: Iterable[SweepTask]) -> List[Any]:
+        """Execute every task; returns results in task order."""
+        task_list = list(tasks)
+        results: List[Any] = [None] * len(task_list)
+        pending: List[int] = []
+        if self.cache is not None:
+            for index, task in enumerate(task_list):
+                hit, value = self.cache.get(task)
+                if hit:
+                    results[index] = value
+                else:
+                    pending.append(index)
+        else:
+            pending = list(range(len(task_list)))
+
+        if pending:
+            if self.workers == 1 or len(pending) == 1:
+                computed = [
+                    task_list[index].fn(**dict(task_list[index].kwargs))
+                    for index in pending
+                ]
+            else:
+                computed = self._map_parallel([task_list[i] for i in pending])
+            for index, value in zip(pending, computed):
+                if self.cache is not None:
+                    value = self.cache.put(task_list[index], value)
+                results[index] = value
+        return results
+
+    def _map_parallel(self, tasks: Sequence[SweepTask]) -> List[Any]:
+        """Chunked submission over a spawn pool, ordered aggregation.
+
+        Workers can import :mod:`repro` even when the parent added
+        ``src/`` to ``sys.path`` at runtime: ``spawn`` forwards the
+        parent's ``sys.path`` in its process preparation data.
+        """
+        workers = min(self.workers, len(tasks))
+        # Fine default granularity (~8 chunks per worker, so small sweeps
+        # get chunk=1): task durations vary across a sweep, and the tail
+        # skew of a coarse chunk costs more than the per-submission pickle.
+        chunk = self.chunk_size or max(1, len(tasks) // (workers * 8))
+        payloads = [
+            [(task.fn, dict(task.kwargs)) for task in tasks[lo : lo + chunk]]
+            for lo in range(0, len(tasks), chunk)
+        ]
+        context = multiprocessing.get_context("spawn")
+        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+            futures = [pool.submit(_run_chunk, payload) for payload in payloads]
+            out: List[Any] = []
+            for future in futures:  # submission order == task order
+                out.extend(future.result())
+        return out
+
+
+def run_sweep(
+    tasks: Iterable[SweepTask],
+    *,
+    workers: int = 1,
+    cache: CacheLike = None,
+    chunk_size: Optional[int] = None,
+) -> List[Any]:
+    """Functional shortcut: build a :class:`SweepRunner` and map ``tasks``."""
+    return SweepRunner(workers=workers, cache=cache, chunk_size=chunk_size).map(tasks)

@@ -5,10 +5,26 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro import cli
 from repro.core.acceptance import AcceptanceGraph
 from repro.core.peer import PeerPopulation
 from repro.core.ranking import GlobalRanking
 from repro.sim.random_source import RandomSource
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cli_cache(tmp_path_factory, monkeypatch):
+    """Point the CLI's default result cache at a per-test temp directory.
+
+    ``repro-p2p`` caches sweep points on disk by default; tests invoking
+    ``cli.main`` must not leave ``.repro-cache/`` in the repo root, and --
+    more importantly -- must not *replay* stale entries across test runs,
+    which would mask regressions in the simulators the tests think they
+    are exercising.
+    """
+    monkeypatch.setattr(
+        cli, "DEFAULT_CACHE_DIR", tmp_path_factory.mktemp("repro-cache")
+    )
 
 
 def pytest_addoption(parser: pytest.Parser) -> None:
