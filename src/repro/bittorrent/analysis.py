@@ -1,0 +1,235 @@
+"""Estimators over a measurement campaign (:mod:`~repro.bittorrent.telemetry`).
+
+These are the statistics measurement papers actually publish from scrape
+and poll data -- download-time CDFs, per-peer visit counts, the
+sensitivity of the confirmed-download count to the progress threshold --
+plus the observer-side **stratification index**: the same rank-correlation
+the omniscient :func:`~repro.bittorrent.swarm.stratification_index`
+computes, but built exclusively from observed download rates and the
+partner sightings collected during polls.  Comparing the two indices on
+one run quantifies how much of the paper's stratification signal survives
+a realistic measurement pipeline.
+
+Everything here is a pure function of a :class:`~repro.bittorrent.
+telemetry.ObservedSwarm` (plus, for the ground-truth columns, the
+:class:`~repro.bittorrent.swarm.SwarmResult` it rode in on), so the two
+engines -- whose observed records are id-for-id identical -- agree on
+every estimate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bittorrent.telemetry import ObservedSwarm
+
+__all__ = [
+    "download_time_cdf",
+    "observed_download_time_cdf",
+    "observed_stratification_index",
+    "threshold_sensitivity",
+    "visit_count_distribution",
+    "telemetry_report",
+]
+
+DEFAULT_THRESHOLDS = (0.5, 0.8, 0.9, 0.95, 0.98, 1.0)
+
+
+def _empirical_cdf(durations: Iterable[float]) -> Dict[str, np.ndarray]:
+    values = np.sort(np.asarray(list(durations), dtype=float))
+    if values.size == 0:
+        return {"durations": values, "cdf": values.copy()}
+    return {
+        "durations": values,
+        "cdf": np.arange(1, values.size + 1, dtype=float) / values.size,
+    }
+
+
+def download_time_cdf(result) -> Dict[str, np.ndarray]:
+    """Ground-truth download-time CDF (rounds) over completed leechers.
+
+    A leecher arriving at round ``r`` and completing at round ``c`` took
+    ``c - max(1, r) + 1`` rounds -- the same active-rounds convention as
+    :meth:`~repro.bittorrent.swarm.SwarmPeer.download_rate_kbps`.  Peers
+    that never completed (or were complete from round one) are excluded,
+    exactly like in the observed CDF.
+    """
+    durations = [
+        float(peer.completed_round - max(1, peer.arrival_round) + 1)
+        for peer in result.leechers()
+        if peer.completed_round is not None
+    ]
+    return _empirical_cdf(durations)
+
+
+def observed_download_time_cdf(
+    observed: ObservedSwarm, threshold: Optional[float] = None
+) -> Dict[str, np.ndarray]:
+    """Download-time CDF as the observer estimates it (rounds).
+
+    For every confirmed download, the duration estimate is the span from
+    the first poll that saw the peer to the poll that crossed the
+    threshold -- at least one round, since a crawler cannot resolve
+    anything finer than its own visits.
+    """
+    durations: List[float] = []
+    for pid in observed.timelines:
+        confirmed_at = observed.confirmation_round(pid, threshold)
+        if confirmed_at is None:
+            continue
+        first = observed.first_seen(pid)
+        durations.append(float(max(1, confirmed_at - first)))
+    return _empirical_cdf(durations)
+
+
+def visit_count_distribution(observed: ObservedSwarm) -> Dict[str, np.ndarray]:
+    """Histogram of how often peers were reached (visits -> peer count)."""
+    counts = observed.visit_counts()
+    if not counts:
+        empty = np.asarray([], dtype=float)
+        return {"visits": empty, "peers": empty.copy()}
+    values, frequencies = np.unique(
+        np.asarray(sorted(counts.values()), dtype=float), return_counts=True
+    )
+    return {"visits": values, "peers": frequencies.astype(float)}
+
+
+def threshold_sensitivity(
+    observed: ObservedSwarm,
+    thresholds: Sequence[float] = DEFAULT_THRESHOLDS,
+    *,
+    true_completions: Optional[int] = None,
+) -> Dict[str, np.ndarray]:
+    """Confirmed-download counts across confirmation thresholds.
+
+    The curve is non-increasing in the threshold: raising the bar can
+    only disqualify peers.  With ``true_completions`` the undercount
+    column (truth minus confirmed; negative = overcount) is included --
+    the quantity real studies can never compute, which is the point of
+    reproducing the methodology inside a simulator.
+    """
+    if not thresholds:
+        raise ValueError("need at least one threshold")
+    ordered = sorted(float(t) for t in thresholds)
+    confirmed = [float(observed.confirmed_downloads(t)) for t in ordered]
+    out: Dict[str, np.ndarray] = {
+        "thresholds": np.asarray(ordered, dtype=float),
+        "confirmed_downloads": np.asarray(confirmed, dtype=float),
+    }
+    if true_completions is not None:
+        out["undercount_vs_truth"] = float(true_completions) - out[
+            "confirmed_downloads"
+        ]
+    return out
+
+
+def observed_stratification_index(observed: ObservedSwarm) -> float:
+    """The stratification index as a scrape-and-poll study would infer it.
+
+    Peers are ranked by their *observed* download rate (fastest first; the
+    observer cannot see upload capacities, but under Tit-for-Tat download
+    rate is the visible proxy).  Each peer's partners come from the poll
+    sightings, weighted by how often the pair was seen trading.  The
+    returned value is the Pearson correlation between a peer's own rank
+    and its weighted-average partner rank -- the same statistic as the
+    ground-truth :func:`~repro.bittorrent.swarm.stratification_index`,
+    computed from strictly observable inputs.  Returns 0.0 when fewer
+    than three ranked peers have observed partners.
+    """
+    rates = observed.observed_download_rates()
+    if len(rates) < 3:
+        return 0.0
+    # Fastest observed peer gets rank 1; ties break by peer id so the
+    # estimate is deterministic and engine-independent.
+    order = sorted(rates, key=lambda pid: (-rates[pid], pid))
+    rank = {pid: index + 1 for index, pid in enumerate(order)}
+    sightings = observed.partner_sightings()
+
+    own_ranks: List[float] = []
+    partner_ranks: List[float] = []
+    for pid in order:
+        total = 0.0
+        weighted = 0.0
+        for (a, b), weight in sightings.items():
+            if a == pid and b in rank:
+                weighted += weight * rank[b]
+                total += weight
+            elif b == pid and a in rank:
+                weighted += weight * rank[a]
+                total += weight
+        if total > 0:
+            own_ranks.append(float(rank[pid]))
+            partner_ranks.append(weighted / total)
+    if len(own_ranks) < 3:
+        return 0.0
+    matrix = np.corrcoef(np.asarray(own_ranks), np.asarray(partner_ranks))
+    value = float(matrix[0, 1])
+    return 0.0 if np.isnan(value) else value
+
+
+def telemetry_report(
+    result,
+    observed: ObservedSwarm,
+    thresholds: Sequence[float] = DEFAULT_THRESHOLDS,
+) -> Dict[str, Dict[str, np.ndarray]]:
+    """Ground truth vs observation, side by side, for one observed run.
+
+    The nested layout (section -> metric -> array) is what the
+    ``telemetry`` CLI experiment prints and what the CI smoke test
+    asserts; scalars are length-1 arrays so every value renders the same
+    way.
+    """
+    from repro.bittorrent.swarm import stratification_index
+
+    truth_cdf = download_time_cdf(result)
+    observed_cdf = observed_download_time_cdf(observed)
+    visits = visit_count_distribution(observed)
+    scrapes = observed.scrapes
+    try:
+        true_index = stratification_index(result)
+    except ValueError:
+        true_index = 0.0
+
+    def scalar(value: float) -> np.ndarray:
+        return np.asarray([float(value)])
+
+    return {
+        "ground_truth": {
+            "completions": scalar(result.completed),
+            "stratification_index": scalar(true_index),
+            "arrivals": scalar(result.arrivals),
+            "departures": scalar(result.departures),
+            "rounds_run": scalar(result.rounds_run),
+            "download_cdf_rounds": truth_cdf["durations"],
+            "download_cdf": truth_cdf["cdf"],
+        },
+        "observed": {
+            "reported_downloads": scalar(observed.reported_downloads()),
+            "confirmed_downloads": scalar(observed.confirmed_downloads()),
+            "confirmed_at_certainty": scalar(observed.confirmed_downloads(1.0)),
+            "undercount": scalar(
+                result.completed - observed.confirmed_downloads()
+            ),
+            "observed_stratification_index": scalar(
+                observed_stratification_index(observed)
+            ),
+            "peers_observed": scalar(observed.peers_observed),
+            "scrapes_taken": scalar(len(scrapes)),
+            "polls_taken": scalar(len(observed.poll_rounds)),
+            "download_cdf_rounds": observed_cdf["durations"],
+            "download_cdf": observed_cdf["cdf"],
+            "visit_count_values": visits["visits"],
+            "visit_count_peers": visits["peers"],
+        },
+        "threshold_sensitivity": threshold_sensitivity(
+            observed, thresholds, true_completions=result.completed
+        ),
+        "scrape_series": {
+            "rounds": np.asarray([s.round for s in scrapes], dtype=float),
+            "seeders": np.asarray([s.seeders for s in scrapes], dtype=float),
+            "leechers": np.asarray([s.leechers for s in scrapes], dtype=float),
+            "snatches": np.asarray([s.snatches for s in scrapes], dtype=float),
+        },
+    }

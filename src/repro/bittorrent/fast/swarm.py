@@ -53,6 +53,12 @@ from repro.bittorrent.fast.tracker import (
 )
 from repro.bittorrent.piece_selection import make_selector
 from repro.bittorrent.scenarios import ScenarioSchedule, resolve_scenario
+from repro.bittorrent.telemetry import (
+    ObserverConfig,
+    SwarmObserver,
+    _FastSwarmView,
+    resolve_observer,
+)
 from repro.sim.random_source import RandomSource
 
 __all__ = ["FastSwarmSimulator"]
@@ -74,6 +80,7 @@ class FastSwarmSimulator:
         distribution: Optional[BandwidthDistribution] = None,
         seed: int = 0,
         scenario: "ScenarioSchedule | str | None" = None,
+        observer: "SwarmObserver | ObserverConfig | None" = None,
     ) -> None:
         # Imported here to avoid a circular import with repro.bittorrent.swarm.
         from repro.bittorrent.swarm import SwarmConfig
@@ -83,6 +90,7 @@ class FastSwarmSimulator:
         make_selector(config.piece_selection)  # validate the policy name
         self.config = config
         self.scenario = resolve_scenario(scenario)
+        self.observer = resolve_observer(observer)
         self.source = RandomSource(seed)
         self.n_total = config.leechers + config.seeds
         self._build_population(bandwidths, distribution)
@@ -133,6 +141,11 @@ class FastSwarmSimulator:
             n, self.tracker, announce_rng
         )
         self._freeze_edges()
+        # Initially-complete peers announce as seeders (scrape counts them,
+        # the snatch counter does not) -- mirrors the reference tracker.
+        for i in range(n):
+            if self.bitfields.have_count[i] == config.piece_count:
+                self.tracker.register_complete(i + 1)
 
         self.counts = self.bitfields.availability()
         self.chokers = FastChokerState(
@@ -261,6 +274,9 @@ class FastSwarmSimulator:
 
         config = self.config
         scenario = self.scenario
+        observer = self.observer
+        if observer is not None:
+            observer.begin_run(_FastSwarmView(self))
         rng = self.source.stream("rounds")
         collaboration: Dict[Tuple[int, int], float] = {}
         tft_rounds: Dict[Tuple[int, int], float] = {}
@@ -281,6 +297,8 @@ class FastSwarmSimulator:
                 transfers, collaboration, rng, round_index, incomplete
             )
             completed += newly
+            if observer is not None:
+                observer.observe_round(round_index, regular_pairs)
             if incomplete == 0 and not scenario.more_arrivals_after(
                 round_index, self._total_arrived
             ):
@@ -295,6 +313,7 @@ class FastSwarmSimulator:
             rounds_run=rounds_run,
             arrivals=self._total_arrived,
             departures=len(self._departed),
+            observed=observer.finish(rounds_run) if observer is not None else None,
         )
 
     def _count_incomplete(self) -> int:
@@ -549,6 +568,7 @@ class FastSwarmSimulator:
                     self.completed_round[receiver] = round_index
                     newly_completed += 1
                     incomplete -= 1
+                    self.tracker.record_completion(receiver + 1)
                     if self.scenario.departure != "stay":
                         due_round = round_index + 1 + self.scenario.effective_linger
                         self._depart_due.setdefault(due_round, []).append(receiver)

@@ -24,15 +24,24 @@ tests cover both the construction path and churning scenarios.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Set, Tuple
 
 import numpy as np
+
+from repro.bittorrent.tracker import ScrapeStats
 
 __all__ = ["FastTracker", "build_neighbor_csr"]
 
 
 class FastTracker:
-    """A tracker whose peers join with strictly increasing ids."""
+    """A tracker whose peers join with strictly increasing ids.
+
+    The scrape counters (:meth:`scrape`) mirror the reference
+    :class:`~repro.bittorrent.tracker.Tracker` exactly -- same
+    :class:`~repro.bittorrent.tracker.ScrapeStats` type, same
+    seeder/snatch semantics -- so an observer sees identical numbers on
+    either engine.
+    """
 
     def __init__(self, announce_size: int) -> None:
         if announce_size <= 0:
@@ -42,6 +51,8 @@ class FastTracker:
         # Sorted alive ids; None while the alive set is the range 1..max_id
         # (the contiguous fast path used during swarm construction).
         self._alive: Optional[List[int]] = None
+        self._complete: Set[int] = set()
+        self._snatches = 0
 
     def announce(self, peer_id: int, rng: np.random.Generator) -> np.ndarray:
         """Register ``peer_id`` and return its random contacts (peer ids).
@@ -80,6 +91,33 @@ class FastTracker:
             self._alive.remove(peer_id)
         except ValueError:
             pass  # mirror Tracker.depart's discard semantics
+        self._complete.discard(peer_id)
+
+    def is_registered(self, peer_id: int) -> bool:
+        """Whether the peer is currently in the swarm (not departed)."""
+        if self._alive is None:
+            return 1 <= peer_id <= self._max_id
+        return peer_id in self._alive
+
+    def register_complete(self, peer_id: int) -> None:
+        """Mark a registered peer as a seeder without counting a snatch."""
+        if self.is_registered(peer_id):
+            self._complete.add(peer_id)
+
+    def record_completion(self, peer_id: int) -> None:
+        """Count one completed download (idempotent per peer)."""
+        if self.is_registered(peer_id) and peer_id not in self._complete:
+            self._complete.add(peer_id)
+            self._snatches += 1
+
+    def scrape(self) -> ScrapeStats:
+        """The scrape-endpoint counters (seeders / leechers / snatches)."""
+        seeders = len(self._complete)
+        return ScrapeStats(
+            seeders=seeders,
+            leechers=self.swarm_size - seeders,
+            snatches=self._snatches,
+        )
 
     def known_peers(self) -> List[int]:
         """Currently registered peer ids, ascending (departed excluded)."""

@@ -46,6 +46,13 @@ from repro.bittorrent.choking import SeedChoker, TitForTatChoker
 from repro.bittorrent.pieces import Bitfield, Torrent
 from repro.bittorrent.piece_selection import PieceSelector, make_selector, piece_availability
 from repro.bittorrent.scenarios import ScenarioSchedule, resolve_scenario
+from repro.bittorrent.telemetry import (
+    ObservedSwarm,
+    ObserverConfig,
+    SwarmObserver,
+    _ReferenceSwarmView,
+    resolve_observer,
+)
 from repro.bittorrent.tracker import Tracker
 from repro.core.exceptions import validate_engine
 from repro.sim.random_source import RandomSource
@@ -225,6 +232,11 @@ class SwarmResult:
     ``peers`` contains departed peers too (with ``departed_round`` set and
     their statistics frozen at departure); ``arrivals`` / ``departures``
     count the membership events over the whole run.
+
+    ``observed`` carries the measurement campaign of an attached
+    :class:`~repro.bittorrent.telemetry.SwarmObserver` (``None`` when the
+    run was unobserved); every other field is bit-identical with or
+    without observation.
     """
 
     config: SwarmConfig
@@ -235,6 +247,7 @@ class SwarmResult:
     rounds_run: int
     arrivals: int = 0
     departures: int = 0
+    observed: Optional[ObservedSwarm] = None
 
     def leechers(self) -> List[SwarmPeer]:
         """All non-seed peers (departed ones included)."""
@@ -285,6 +298,13 @@ class SwarmSimulator:
         name (``"static"``, ``"poisson"``, ``"flashcrowd"``,
         ``"seed-linger"``) or ``None`` for the fixed population the paper
         assumes.  Scenarios are bit-identical across engines too.
+    observer:
+        A :class:`~repro.bittorrent.telemetry.SwarmObserver` (or an
+        :class:`~repro.bittorrent.telemetry.ObserverConfig` to build one)
+        that measures the run the way a real scrape-and-poll study would;
+        its record lands in ``SwarmResult.observed``.  Observation never
+        changes the simulation -- results stay bit-identical to the
+        unobserved run on both engines.
     """
 
     def __init__(
@@ -296,11 +316,13 @@ class SwarmSimulator:
         seed: int = 0,
         engine: str = "reference",
         scenario: "ScenarioSchedule | str | None" = None,
+        observer: "SwarmObserver | ObserverConfig | None" = None,
     ) -> None:
         validate_engine(engine)
         self.config = config
         self.engine = engine
         self.scenario = resolve_scenario(scenario)
+        self.observer = resolve_observer(observer)
         self.source = RandomSource(seed)
         self.torrent = Torrent(config.piece_count, config.piece_size_kbit)
         if engine == "fast":
@@ -312,6 +334,7 @@ class SwarmSimulator:
                 distribution=distribution,
                 seed=seed,
                 scenario=self.scenario,
+                observer=self.observer,
             )
             return
         self._fast = None
@@ -396,6 +419,11 @@ class SwarmSimulator:
             self.peers[pid].neighbors.update(contacts)
             for other in contacts:
                 self.peers[other].neighbors.add(pid)
+        # Peers that join already holding the full content announce as
+        # seeders: scrape counts them, the snatch counter does not.
+        for pid, peer in self.peers.items():
+            if peer.bitfield.is_complete():
+                self.tracker.register_complete(pid)
 
     # -- membership dynamics -------------------------------------------------------
 
@@ -476,6 +504,9 @@ class SwarmSimulator:
             return self._fast.run()
         config = self.config
         scenario = self.scenario
+        observer = self.observer
+        if observer is not None:
+            observer.begin_run(_ReferenceSwarmView(self))
         rng = self.source.stream("rounds")
         collaboration: Dict[Tuple[int, int], float] = {}
         tft_rounds: Dict[Tuple[int, int], float] = {}
@@ -487,6 +518,8 @@ class SwarmSimulator:
             transfers, regular_pairs = self._plan_round(rng)
             self._record_reciprocal_tft(regular_pairs, tft_rounds, round_index)
             completed += self._apply_round(transfers, collaboration, rng, round_index)
+            if observer is not None:
+                observer.observe_round(round_index, regular_pairs)
             if all(
                 p.bitfield.is_complete() for p in self.peers.values() if not p.is_seed
             ) and not scenario.more_arrivals_after(round_index, self._total_arrived):
@@ -503,6 +536,7 @@ class SwarmSimulator:
             rounds_run=rounds_run,
             arrivals=self._total_arrived,
             departures=len(self._departed),
+            observed=observer.finish(rounds_run) if observer is not None else None,
         )
 
     def _plan_round(
@@ -600,6 +634,7 @@ class SwarmSimulator:
                 if receiver.bitfield.is_complete() and receiver.completed_round is None:
                     receiver.completed_round = round_index
                     newly_completed += 1
+                    self.tracker.record_completion(receiver_id)
             receiver.partial_kbit[sender_id] = credit
 
         for pid, received in received_now.items():

@@ -5,6 +5,14 @@ union of these announcements is precisely the paper's *acceptance graph*:
 two peers can only end up in a Tit-for-Tat exchange if at least one of them
 learnt about the other, and the resulting knowledge graph is (close to) an
 Erdős–Rényi graph with expected degree equal to the announce size.
+
+Besides discovery the tracker keeps the aggregate counters a real tracker
+exposes through its *scrape* endpoint -- current seeders, current leechers
+and the cumulative number of completed downloads ("snatches") -- which is
+all that measurement studies built on scrapes ever see
+(:mod:`repro.bittorrent.telemetry`).  The counters are maintained
+unconditionally: they consume no randomness and touch no simulation state,
+so an attached observer cannot perturb a run.
 """
 
 from __future__ import annotations
@@ -16,7 +24,23 @@ import numpy as np
 
 from repro.graphs.base import UndirectedGraph
 
-__all__ = ["Tracker"]
+__all__ = ["ScrapeStats", "Tracker"]
+
+
+@dataclass(frozen=True)
+class ScrapeStats:
+    """One tracker scrape: the three counters of the BitTorrent scrape API.
+
+    ``seeders`` and ``leechers`` describe the swarm *right now*;
+    ``snatches`` is the cumulative count of completed-download events the
+    tracker has been told about (peers that were already complete when
+    they first announced are seeders, not snatches -- exactly the
+    distinction real trackers make).
+    """
+
+    seeders: int
+    leechers: int
+    snatches: int
 
 
 @dataclass
@@ -33,6 +57,8 @@ class Tracker:
     announce_size: int = 20
     _known: Set[int] = field(default_factory=set, repr=False)
     _contacts: Dict[int, Set[int]] = field(default_factory=dict, repr=False)
+    _complete: Set[int] = field(default_factory=set, repr=False)
+    _snatches: int = field(default=0, repr=False)
 
     def __post_init__(self) -> None:
         if self.announce_size <= 0:
@@ -65,9 +91,41 @@ class Tracker:
         """Remove a peer from the tracker (contacts keep their history).
 
         Later announces can no longer return the departed peer, which is
-        how scenario departures propagate to newly arriving peers.
+        how scenario departures propagate to newly arriving peers.  A
+        departing seeder also leaves the scrape's seeder count (snatches,
+        being cumulative, are kept).
         """
         self._known.discard(peer_id)
+        self._complete.discard(peer_id)
+
+    def register_complete(self, peer_id: int) -> None:
+        """Mark a registered peer as a seeder *without* counting a snatch.
+
+        This is the announce a peer that already holds the full content
+        sends on joining: it raises the scrape's seeder count but -- like a
+        real tracker -- is not a completed-download event.
+        """
+        if peer_id in self._known:
+            self._complete.add(peer_id)
+
+    def record_completion(self, peer_id: int) -> None:
+        """Count one completed download (the announce ``event=completed``).
+
+        Idempotent per peer: a peer completes at most once, so repeated
+        notifications do not inflate the snatch counter.
+        """
+        if peer_id in self._known and peer_id not in self._complete:
+            self._complete.add(peer_id)
+            self._snatches += 1
+
+    def scrape(self) -> ScrapeStats:
+        """The scrape-endpoint counters (seeders / leechers / snatches)."""
+        seeders = len(self._complete)
+        return ScrapeStats(
+            seeders=seeders,
+            leechers=len(self._known) - seeders,
+            snatches=self._snatches,
+        )
 
     def is_registered(self, peer_id: int) -> bool:
         """Whether the peer is currently in the swarm (not departed)."""

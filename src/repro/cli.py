@@ -34,7 +34,9 @@ def _print_series(series: Dict[str, Dict[str, np.ndarray]]) -> None:
         print(f"== {label}")
         for key, values in data.items():
             array = np.asarray(values)
-            if array.size == 1:
+            if array.size == 0:
+                print(f"   {key}: (no samples)")
+            elif array.size == 1:
                 print(f"   {key}: {float(array[0]):.6g}")
             else:
                 print(
@@ -76,6 +78,7 @@ _EXPERIMENTS: Dict[str, Callable[[], object]] = {
     "figure11": experiments.figure11_efficiency,
     "swarm": experiments.swarm_stratification_experiment,
     "scenario-timeline": experiments.scenario_stratification_timeline,
+    "telemetry": experiments.telemetry_experiment,
 }
 
 
@@ -118,6 +121,26 @@ def build_parser() -> argparse.ArgumentParser:
             "arrivals with leave-on-completion, 'flashcrowd' a joining "
             "burst, 'seed-linger' arrivals whose completers seed a while; "
             "scenarios are bit-identical across engines"
+        ),
+    )
+    parser.add_argument(
+        "--observe",
+        action="store_true",
+        help=(
+            "attach the scrape-and-poll measurement layer to the swarm "
+            "experiment (adds reported/confirmed downloads and the observed "
+            "stratification index; the simulated swarm stays bit-identical)"
+        ),
+    )
+    parser.add_argument(
+        "--scrape-interval",
+        type=int,
+        default=None,
+        metavar="ROUNDS",
+        help=(
+            "rounds between tracker scrapes / peer polls for the observed "
+            "experiments (swarm --observe, telemetry); default 1 for swarm, "
+            "2 for telemetry"
         ),
     )
     parser.add_argument(
@@ -183,6 +206,13 @@ def _runner_kwargs(
         kwargs["engine"] = args.engine
     if "scenario" in parameters and args.scenario is not None:
         kwargs["scenario"] = args.scenario
+    if "observe" in parameters and getattr(args, "observe", False):
+        kwargs["observe"] = True
+    if (
+        "scrape_interval" in parameters
+        and getattr(args, "scrape_interval", None) is not None
+    ):
+        kwargs["scrape_interval"] = args.scrape_interval
     if "workers" in parameters:
         kwargs["workers"] = 1 if getattr(args, "profile", False) else args.workers
     if "cache" in parameters and cache is not None:
@@ -210,6 +240,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.workers < 1:
         parser.error("--workers must be >= 1")
+    if args.scrape_interval is not None and args.scrape_interval < 1:
+        parser.error("--scrape-interval must be >= 1")
 
     if args.experiment == "list":
         for name in sorted(_EXPERIMENTS):

@@ -15,6 +15,7 @@ from repro.experiments.figures import (
     swarm_stratification_experiment,
     table1_clustering,
 )
+from repro.experiments.telemetry import telemetry_experiment
 
 __all__ = [
     "figure1_convergence",
@@ -30,4 +31,5 @@ __all__ = [
     "scenario_stratification_timeline",
     "swarm_stratification_experiment",
     "table1_clustering",
+    "telemetry_experiment",
 ]

@@ -20,8 +20,10 @@ from repro.analytical.one_matching import independent_one_matching
 from repro.analytical.validation import validate_independent_model
 from repro.bittorrent.bandwidth import saroiu_like_distribution
 from repro.bittorrent.efficiency import analytic_efficiency, efficiency_observations
+from repro.bittorrent.analysis import observed_stratification_index
 from repro.bittorrent.scenarios import resolve_scenario
 from repro.bittorrent.swarm import SwarmConfig, SwarmSimulator, stratification_index
+from repro.bittorrent.telemetry import ObserverConfig
 from repro.core.churn import ChurnConfig, simulate_churn
 from repro.core.dynamics import simulate_convergence, simulate_peer_removal
 from repro.sim.parallel import CacheLike, SeedTree, SweepTask, run_sweep
@@ -465,6 +467,8 @@ def _swarm_point(
     seed: int,
     engine: str,
     scenario: "str | None",
+    observe: bool = False,
+    scrape_interval: int = 1,
 ) -> Dict[str, float]:
     """One seeded swarm replication -- a self-contained sweep task."""
     rng = np.random.default_rng(seed)
@@ -477,8 +481,18 @@ def _swarm_point(
         start_completion=0.25,
         seed_upload_kbps=2000.0,
     )
+    observer = (
+        ObserverConfig(scrape_interval=scrape_interval, poll_interval=scrape_interval)
+        if observe
+        else None
+    )
     simulator = SwarmSimulator(
-        config, bandwidths=bandwidths, seed=seed, engine=engine, scenario=scenario
+        config,
+        bandwidths=bandwidths,
+        seed=seed,
+        engine=engine,
+        scenario=scenario,
+        observer=observer,
     )
     result = simulator.run()
     rates = result.download_rates()
@@ -487,7 +501,7 @@ def _swarm_point(
     correlation = float(
         np.corrcoef([uploads[i] for i in ids], [rates[i] for i in ids])[0, 1]
     )
-    return {
+    metrics = {
         "stratification_index": stratification_index(result),
         "volume_stratification_index": stratification_index(result, use_tft_pairs=False),
         "upload_download_correlation": correlation,
@@ -497,6 +511,19 @@ def _swarm_point(
         "departures": float(result.departures),
         "final_swarm_size": float(len(result.present_peers())),
     }
+    if observer is not None:
+        observed = result.observed
+        metrics.update(
+            {
+                "reported_downloads": float(observed.reported_downloads()),
+                "confirmed_downloads": float(observed.confirmed_downloads()),
+                "peers_observed": float(observed.peers_observed),
+                "observed_stratification_index": observed_stratification_index(
+                    observed
+                ),
+            }
+        )
+    return metrics
 
 
 def swarm_stratification_experiment(
@@ -507,6 +534,8 @@ def swarm_stratification_experiment(
     seed: int = 0,
     engine: str = "reference",
     scenario: "str | None" = None,
+    observe: bool = False,
+    scrape_interval: int = 1,
     repetitions: int = 1,
     workers: int = 1,
     cache: CacheLike = None,
@@ -528,6 +557,12 @@ def swarm_stratification_experiment(
     :class:`~repro.sim.parallel.SeedTree` rooted at ``seed``, run ``workers``
     at a time, and the returned metrics are the across-repetition means
     (plus ``"repetitions"``).
+
+    ``observe=True`` attaches a
+    :class:`~repro.bittorrent.telemetry.SwarmObserver` scraping and
+    polling every ``scrape_interval`` rounds (results stay bit-identical)
+    and adds the observed metrics -- reported / confirmed downloads,
+    peers observed and the observed stratification index.
     """
     if repetitions <= 0:
         raise ValueError("repetitions must be positive")
@@ -543,6 +578,8 @@ def swarm_stratification_experiment(
                 seed=task_seed,
                 engine=engine,
                 scenario=scenario,
+                observe=observe,
+                scrape_interval=scrape_interval,
             ),
             label=f"swarm#rep{k}",
         )

@@ -182,6 +182,74 @@ class TestCLIScenarioFlag:
         assert "stratification_index" in out
 
 
+class TestCLIObserveFlags:
+    def test_parser_accepts_observe_and_scrape_interval(self):
+        parser = build_parser()
+        args = parser.parse_args(["swarm", "--observe", "--scrape-interval", "3"])
+        assert args.observe is True
+        assert args.scrape_interval == 3
+        defaults = parser.parse_args(["swarm"])
+        assert defaults.observe is False
+        assert defaults.scrape_interval is None
+
+    def test_invalid_scrape_interval_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["swarm", "--scrape-interval", "0"])
+        with pytest.raises(SystemExit):
+            main(["telemetry", "--scrape-interval", "-2"])
+
+    def test_observe_threaded_to_swarm_experiment(self, capsys, monkeypatch):
+        seen = {}
+        original = experiments.swarm_stratification_experiment
+
+        def spy(*, seed=0, engine="reference", scenario=None,
+                observe=False, scrape_interval=1):
+            seen.update(observe=observe, scrape_interval=scrape_interval)
+            return original(
+                leechers=12, rounds=10, piece_count=30,
+                seed=seed, engine=engine, scenario=scenario,
+                observe=observe, scrape_interval=scrape_interval,
+            )
+
+        monkeypatch.setitem(cli._EXPERIMENTS, "swarm", spy)
+        assert main(["swarm", "--observe", "--scrape-interval", "2"]) == 0
+        assert seen == {"observe": True, "scrape_interval": 2}
+        out = capsys.readouterr().out
+        assert "reported_downloads" in out
+        assert "observed_stratification_index" in out
+
+    def test_observe_flag_not_forced_when_absent(self, monkeypatch):
+        seen = {}
+
+        def spy(*, seed=0, engine="reference", scenario=None,
+                observe=False, scrape_interval=1):
+            seen.update(observe=observe, scrape_interval=scrape_interval)
+            return {"completed": 0.0}
+
+        monkeypatch.setitem(cli._EXPERIMENTS, "swarm", spy)
+        assert main(["swarm"]) == 0
+        assert seen == {"observe": False, "scrape_interval": 1}
+
+    def test_telemetry_runs_from_cli(self, capsys, monkeypatch):
+        def small(*, seed=0, engine="reference", scenario="poisson",
+                  scrape_interval=2, workers=1, cache=None):
+            return experiments.telemetry_experiment(
+                leechers=10, rounds=10, piece_count=30,
+                seed=seed, engine=engine, scenario=scenario,
+                scrape_interval=scrape_interval, poll_budget=5,
+                workers=workers, cache=cache,
+            )
+
+        monkeypatch.setitem(cli._EXPERIMENTS, "telemetry", small)
+        assert main(["telemetry", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "== ground_truth" in out
+        assert "== observed" in out
+        assert "== threshold_sensitivity" in out
+        assert "== scrape_series" in out
+        assert "confirmed_downloads" in out
+
+
 class TestCLIEngineFlag:
     def test_parser_accepts_engine(self):
         parser = build_parser()

@@ -26,6 +26,7 @@ from typing import Dict
 import pytest
 
 from repro.bittorrent.swarm import SwarmConfig, SwarmResult, SwarmSimulator
+from repro.bittorrent.telemetry import ObservedSwarm, ObserverConfig
 from repro.core.dynamics import simulate_convergence
 
 GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
@@ -67,6 +68,33 @@ def serialize_swarm_result(result: SwarmResult) -> Dict:
                 "departed_round": peer.departed_round,
             }
             for pid, peer in sorted(result.peers.items())
+        },
+    }
+
+
+def serialize_observed(observed: ObservedSwarm) -> Dict:
+    """A measurement campaign as a JSON-stable dict.
+
+    Poll progress is an exact ratio of two small ints, so the doubles
+    round-trip bit-for-bit through JSON like everything else here.
+    """
+    return {
+        "rounds_observed": observed.rounds_observed,
+        "scrapes": [
+            [s.round, s.seeders, s.leechers, s.snatches] for s in observed.scrapes
+        ],
+        "poll_rounds": list(observed.poll_rounds),
+        "timelines": {
+            str(pid): [
+                [sample.round, float(sample.progress), sorted(sample.partners)]
+                for sample in samples
+            ]
+            for pid, samples in sorted(observed.timelines.items())
+        },
+        "reported_downloads": observed.reported_downloads(),
+        "confirmed_downloads": {
+            str(threshold): observed.confirmed_downloads(threshold)
+            for threshold in (0.9, 0.98, 1.0)
         },
     }
 
@@ -118,6 +146,33 @@ SWARM_TRACES = {
     },
 }
 
+TELEMETRY_TRACES = {
+    "telemetry_poisson": {
+        "config": dict(
+            leechers=10, seeds=1, piece_count=24, rounds=12,
+            start_completion=0.3, announce_size=6,
+        ),
+        "scenario": "poisson",
+        "seed": 104,
+        "observer": dict(
+            scrape_interval=2, poll_interval=2, poll_budget=5,
+            confirm_threshold=0.98,
+        ),
+    },
+    "telemetry_flashcrowd": {
+        "config": dict(
+            leechers=8, seeds=1, piece_count=20, rounds=12,
+            start_completion=0.4, announce_size=5,
+        ),
+        "scenario": "flashcrowd",
+        "seed": 105,
+        "observer": dict(
+            scrape_interval=1, poll_interval=3, poll_budget=4,
+            confirm_threshold=0.98,
+        ),
+    },
+}
+
 MATCHING_TRACES = {
     "matching_best_mate": dict(n=30, expected_degree=8.0, seed=201, max_base_units=20.0),
     "matching_two_slots": dict(n=24, expected_degree=6.0, slots=2, seed=202, max_base_units=20.0),
@@ -140,6 +195,34 @@ def compute_swarm_trace(name: str) -> Dict:
         f"engines diverged while tracing {name}"
     )
     return {"kind": "swarm", "spec": {**spec, "name": name}, "result": results["reference"]}
+
+
+def compute_telemetry_trace(name: str) -> Dict:
+    spec = TELEMETRY_TRACES[name]
+    swarms = {}
+    campaigns = {}
+    for engine in ("reference", "fast"):
+        config = SwarmConfig(**spec["config"])
+        result = SwarmSimulator(
+            config,
+            seed=spec["seed"],
+            engine=engine,
+            scenario=spec["scenario"],
+            observer=ObserverConfig(**spec["observer"]),
+        ).run()
+        swarms[engine] = serialize_swarm_result(result)
+        campaigns[engine] = serialize_observed(result.observed)
+    assert swarms["reference"] == swarms["fast"], (
+        f"engines diverged while tracing {name}"
+    )
+    assert campaigns["reference"] == campaigns["fast"], (
+        f"observed records diverged while tracing {name}"
+    )
+    return {
+        "kind": "telemetry",
+        "spec": {**spec, "name": name},
+        "result": {"swarm": swarms["reference"], "observed": campaigns["reference"]},
+    }
 
 
 def compute_matching_trace(name: str) -> Dict:
@@ -184,6 +267,11 @@ def test_swarm_golden_trace(name, regen_golden):
     check_golden(name, compute_swarm_trace(name), regen_golden)
 
 
+@pytest.mark.parametrize("name", sorted(TELEMETRY_TRACES))
+def test_telemetry_golden_trace(name, regen_golden):
+    check_golden(name, compute_telemetry_trace(name), regen_golden)
+
+
 @pytest.mark.parametrize("name", sorted(MATCHING_TRACES))
 def test_matching_golden_trace(name, regen_golden):
     check_golden(name, compute_matching_trace(name), regen_golden)
@@ -191,6 +279,6 @@ def test_matching_golden_trace(name, regen_golden):
 
 def test_golden_files_have_no_strays():
     """Every committed golden file corresponds to a trace in the catalogue."""
-    known = set(SWARM_TRACES) | set(MATCHING_TRACES)
+    known = set(SWARM_TRACES) | set(TELEMETRY_TRACES) | set(MATCHING_TRACES)
     for path in GOLDEN_DIR.glob("*.json"):
         assert path.stem in known, f"stray golden trace {path.name}"

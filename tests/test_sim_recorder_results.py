@@ -54,6 +54,45 @@ class TestTimeSeries:
             series.last()
         with pytest.raises(ValueError):
             series.max()
+        with pytest.raises(ValueError):
+            series.min()
+        with pytest.raises(ValueError):
+            series.value_at(0.0)
+        with pytest.raises(ValueError):
+            series.tail_mean()
+
+    def test_min_and_windowed_mean(self):
+        series = TimeSeries("x")
+        for t, v in [(0, 4.0), (1, 1.0), (2, 3.0), (3, 2.0)]:
+            series.append(t, v)
+        assert series.min() == 1.0
+        assert series.mean() == pytest.approx(2.5)
+        assert series.mean(after=1.0) == pytest.approx(2.5)
+        with pytest.raises(ValueError):
+            series.mean(after=3.0)
+
+    def test_length_and_iteration(self):
+        series = TimeSeries("x")
+        series.append(0.0, 1.0)
+        series.append(2.0, 3.0)
+        assert len(series) == 2
+        assert list(series) == [(0.0, 1.0), (2.0, 3.0)]
+
+    def test_equal_times_allowed(self):
+        # Non-decreasing, not strictly increasing: co-scheduled samples
+        # (a scrape and a poll in the same round) share a timestamp.
+        series = TimeSeries("x")
+        series.append(1.0, 1.0)
+        series.append(1.0, 2.0)
+        assert series.value_at(1.0) == 2.0
+
+    def test_tail_mean_rejects_bad_fraction(self):
+        series = TimeSeries("x")
+        series.append(0.0, 1.0)
+        with pytest.raises(ValueError):
+            series.tail_mean(0.0)
+        with pytest.raises(ValueError):
+            series.tail_mean(1.5)
 
 
 class TestMetricRecorder:
@@ -86,6 +125,53 @@ class TestMetricRecorder:
         assert summary["count"] == 3
         assert summary["max"] == 3.0
         assert summary["last"] == 2.0
+
+    def test_summary_skips_empty_series(self):
+        recorder = MetricRecorder()
+        recorder.series("created-but-never-sampled")
+        recorder.record("m", 0.0, 1.0)
+        assert set(recorder.summary()) == {"m"}
+        assert recorder.names() == ["created-but-never-sampled", "m"]
+
+    def test_merge_preserves_time_order_check(self):
+        first = MetricRecorder()
+        first.record("a", 5.0, 1.0)
+        second = MetricRecorder()
+        second.record("a", 9.0, 2.0)
+        # Merging without a prefix appends onto the existing series, so
+        # the out-of-order guard still applies.
+        with pytest.raises(ValueError):
+            second.merge(first)
+        first.record("a", 10.0, 3.0)
+        third = MetricRecorder()
+        third.record("a", 1.0, 0.0)
+        third.merge(first, prefix="obs/")
+        assert third["obs/a"].last() == 3.0
+        assert third["a"].last() == 0.0
+
+    def test_observer_recorder_round_trip(self):
+        # The telemetry layer streams its campaign into a recorder; make
+        # sure the streaming paths it relies on behave over that shape.
+        from repro.bittorrent.swarm import SwarmConfig, SwarmSimulator
+        from repro.bittorrent.telemetry import ObserverConfig
+
+        config = SwarmConfig(
+            leechers=8, seeds=1, piece_count=16, rounds=6, start_completion=0.3
+        )
+        result = SwarmSimulator(
+            config, seed=2, observer=ObserverConfig(poll_interval=2)
+        ).run()
+        recorder = result.observed.to_recorder()
+        seeders = recorder["scrape/seeders"]
+        assert len(seeders) == len(result.observed.scrapes)
+        assert seeders.min() >= 0.0
+        assert recorder["poll/peers_polled"].max() <= config.leechers + config.seeds
+        merged = MetricRecorder()
+        merged.merge(recorder, prefix="obs/")
+        assert "obs/scrape/snatches" in merged
+        assert merged.summary()["obs/scrape/snatches"]["last"] == float(
+            result.observed.reported_downloads()
+        )
 
 
 class TestParameterGridAndExperiment:

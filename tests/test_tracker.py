@@ -1,0 +1,156 @@
+"""Targeted tracker tests: the FastTracker depart / sorted-alive-list path.
+
+The scenario and equivalence suites exercise the trackers through whole
+swarms; these tests pin the announce-after-depart machinery directly --
+the regime switch from the contiguous range to the sorted alive list, the
+draw parity with the reference tracker, and the scrape counters across
+churn.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bittorrent.fast.tracker import FastTracker
+from repro.bittorrent.tracker import ScrapeStats, Tracker
+
+
+def _paired_rngs(seed: int = 0):
+    return np.random.default_rng(seed), np.random.default_rng(seed)
+
+
+class TestFastTrackerAnnounce:
+    def test_requires_strictly_increasing_ids(self):
+        tracker = FastTracker(announce_size=4)
+        tracker.announce(1, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            tracker.announce(3, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            tracker.announce(1, np.random.default_rng(0))
+
+    def test_rejects_nonpositive_announce_size(self):
+        with pytest.raises(ValueError):
+            FastTracker(announce_size=0)
+
+    def test_contiguous_announces_match_reference(self):
+        fast = FastTracker(announce_size=3)
+        reference = Tracker(announce_size=3)
+        fast_rng, ref_rng = _paired_rngs(42)
+        for peer_id in range(1, 12):
+            fast_contacts = fast.announce(peer_id, fast_rng)
+            ref_contacts = reference.announce(peer_id, ref_rng)
+            assert sorted(int(c) for c in fast_contacts) == sorted(ref_contacts)
+        assert fast.known_peers() == reference.known_peers()
+
+    def test_depart_then_announce_matches_reference(self):
+        fast = FastTracker(announce_size=3)
+        reference = Tracker(announce_size=3)
+        fast_rng, ref_rng = _paired_rngs(7)
+        for peer_id in range(1, 9):
+            fast.announce(peer_id, fast_rng)
+            reference.announce(peer_id, ref_rng)
+        for departing in (3, 6, 1):
+            fast.depart(departing)
+            reference.depart(departing)
+        assert fast.known_peers() == reference.known_peers()
+        # Announces after the regime switch draw from the same sorted
+        # alive list, so the contacts are id-for-id identical.
+        for peer_id in range(9, 14):
+            fast_contacts = fast.announce(peer_id, fast_rng)
+            ref_contacts = reference.announce(peer_id, ref_rng)
+            assert [int(c) for c in fast_contacts] == ref_contacts
+            assert not set(int(c) for c in fast_contacts) & {1, 3, 6}
+
+    def test_alive_list_stays_sorted_under_interleaved_churn(self):
+        tracker = FastTracker(announce_size=2)
+        rng = np.random.default_rng(1)
+        for peer_id in range(1, 6):
+            tracker.announce(peer_id, rng)
+        tracker.depart(2)
+        tracker.announce(6, rng)
+        tracker.depart(5)
+        tracker.announce(7, rng)
+        assert tracker.known_peers() == [1, 3, 4, 6, 7]
+        assert tracker.known_peers() == sorted(tracker.known_peers())
+        assert tracker.swarm_size == 5
+
+    def test_depart_unknown_id_is_noop(self):
+        tracker = FastTracker(announce_size=2)
+        rng = np.random.default_rng(0)
+        for peer_id in range(1, 4):
+            tracker.announce(peer_id, rng)
+        tracker.depart(99)
+        tracker.depart(2)
+        tracker.depart(2)  # repeated departure: discard semantics
+        assert tracker.known_peers() == [1, 3]
+
+    def test_announce_into_emptied_swarm_returns_no_contacts(self):
+        tracker = FastTracker(announce_size=4)
+        rng = np.random.default_rng(0)
+        for peer_id in range(1, 4):
+            tracker.announce(peer_id, rng)
+        for peer_id in range(1, 4):
+            tracker.depart(peer_id)
+        assert tracker.swarm_size == 0
+        contacts = tracker.announce(4, rng)
+        assert contacts.size == 0
+        assert tracker.known_peers() == [4]
+
+
+class TestFastTrackerScrape:
+    def _churned(self) -> FastTracker:
+        tracker = FastTracker(announce_size=3)
+        rng = np.random.default_rng(0)
+        for peer_id in range(1, 6):
+            tracker.announce(peer_id, rng)
+        return tracker
+
+    def test_is_registered_both_regimes(self):
+        tracker = self._churned()
+        # Contiguous regime: the range 1..max_id.
+        assert tracker.is_registered(5)
+        assert not tracker.is_registered(0)
+        assert not tracker.is_registered(6)
+        tracker.depart(2)
+        # Dynamic regime: membership of the alive list.
+        assert tracker.is_registered(1)
+        assert not tracker.is_registered(2)
+
+    def test_scrape_after_seeder_departs(self):
+        tracker = self._churned()
+        tracker.record_completion(4)
+        assert tracker.scrape() == ScrapeStats(seeders=1, leechers=4, snatches=1)
+        tracker.depart(4)
+        # The seeder leaves the live counters; the snatch is cumulative.
+        assert tracker.scrape() == ScrapeStats(seeders=0, leechers=4, snatches=1)
+
+    def test_register_complete_vs_record_completion(self):
+        tracker = self._churned()
+        tracker.register_complete(1)  # joined-as-seed: no snatch
+        tracker.record_completion(2)
+        tracker.record_completion(2)  # idempotent
+        tracker.record_completion(1)  # already complete: no snatch
+        assert tracker.scrape() == ScrapeStats(seeders=2, leechers=3, snatches=1)
+
+    def test_departed_peer_cannot_complete(self):
+        tracker = self._churned()
+        tracker.depart(3)
+        tracker.record_completion(3)
+        tracker.register_complete(3)
+        assert tracker.scrape() == ScrapeStats(seeders=0, leechers=4, snatches=0)
+
+    def test_scrape_matches_reference_across_identical_history(self):
+        fast = FastTracker(announce_size=3)
+        reference = Tracker(announce_size=3)
+        fast_rng, ref_rng = _paired_rngs(5)
+        for peer_id in range(1, 8):
+            fast.announce(peer_id, fast_rng)
+            reference.announce(peer_id, ref_rng)
+        for tracker in (fast, reference):
+            tracker.register_complete(1)
+            tracker.record_completion(4)
+            tracker.depart(4)
+            tracker.record_completion(6)
+        assert fast.scrape() == reference.scrape()
+        assert fast.known_peers() == reference.known_peers()
