@@ -9,7 +9,6 @@ ranking and keeps a positive probability of staying unmatched.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.analytical.distributions import MateDistribution, shift_similarity
 from repro.analytical.one_matching import independent_one_matching

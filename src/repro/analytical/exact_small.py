@@ -13,9 +13,8 @@ the error introduced by the independence assumption of Algorithm 2:
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 

@@ -20,7 +20,7 @@ against the finite-n output of Algorithm 2.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict
 
 import numpy as np
 

@@ -25,7 +25,7 @@ cumulative product over j produces the whole row at once.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, Optional
 
 import numpy as np
 

@@ -11,7 +11,7 @@ full-scale parameters remain available).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -98,8 +98,8 @@ def simulate_choice_distribution(
             else:
                 missing[choice] += 1
 
-    frequencies = {c: counts[c] / samples for c in counts}
-    unmatched = {c: missing[c] / samples for c in missing}
+    frequencies = {c: counts[c] / samples for c in sorted(counts)}
+    unmatched = {c: missing[c] / samples for c in sorted(missing)}
     return MonteCarloChoiceDistribution(
         peer=peer,
         n=n,

@@ -11,7 +11,7 @@ can push the most (by convention here: round-robin random).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Set
+from typing import Dict, List, Mapping, Sequence
 
 import numpy as np
 

@@ -19,7 +19,7 @@ Two estimators are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -30,6 +30,7 @@ from repro.core.peer import PeerPopulation
 from repro.core.ranking import GlobalRanking
 from repro.core.stable import stable_configuration
 from repro.sim.random_source import RandomSource
+from repro.sim import streams
 
 __all__ = [
     "EfficiencyCurve",
@@ -124,7 +125,7 @@ def analytic_efficiency(
     if n < 2:
         raise ValueError("need at least two peers")
     source = RandomSource(seed)
-    per_slot = _ranked_uploads(n, distribution, uploads, b0, source.stream("bandwidth"))
+    per_slot = _ranked_uploads(n, distribution, uploads, b0, source.stream(streams.BANDWIDTH))
     n = per_slot.shape[0]
     p = min(1.0, expected_degree / (n - 1))
 
@@ -159,7 +160,7 @@ def simulated_efficiency(
     if samples <= 0:
         raise ValueError("samples must be positive")
     source = RandomSource(seed)
-    per_slot = _ranked_uploads(n, distribution, uploads, b0, source.stream("bandwidth"))
+    per_slot = _ranked_uploads(n, distribution, uploads, b0, source.stream(streams.BANDWIDTH))
     n = per_slot.shape[0]
 
     download = np.zeros(n, dtype=float)

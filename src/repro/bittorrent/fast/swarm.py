@@ -39,7 +39,7 @@ Python set algebra with vectorized passes.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -60,6 +60,10 @@ from repro.bittorrent.telemetry import (
     resolve_observer,
 )
 from repro.sim.random_source import RandomSource
+from repro.sim import streams
+
+if TYPE_CHECKING:  # runtime imports stay local to avoid an import cycle
+    from repro.bittorrent.swarm import SwarmConfig, SwarmResult
 
 __all__ = ["FastSwarmSimulator"]
 
@@ -74,7 +78,7 @@ class FastSwarmSimulator:
 
     def __init__(
         self,
-        config,
+        config: "SwarmConfig",
         *,
         bandwidths: Optional[Sequence[float]] = None,
         distribution: Optional[BandwidthDistribution] = None,
@@ -104,7 +108,7 @@ class FastSwarmSimulator:
     ) -> None:
         config = self.config
         n = self.n_total
-        rng = self.source.stream("bandwidth")
+        rng = self.source.stream(streams.BANDWIDTH)
         if bandwidths is not None:
             sampled = np.asarray(list(bandwidths), dtype=float)
             if sampled.shape[0] != config.leechers:
@@ -120,7 +124,7 @@ class FastSwarmSimulator:
         self.alive = np.ones(n, dtype=bool)
 
         self.bitfields = BitfieldMatrix(n, config.piece_count)
-        bootstrap_rng = self.source.stream("bootstrap")
+        bootstrap_rng = self.source.stream(streams.BOOTSTRAP)
         start_pieces = int(round(config.start_completion * config.piece_count))
         for i in range(config.leechers):
             if start_pieces:
@@ -133,7 +137,7 @@ class FastSwarmSimulator:
         for i in range(config.leechers, n):
             self.bitfields.set_complete(i)
 
-        announce_rng = self.source.stream("tracker")
+        announce_rng = self.source.stream(streams.TRACKER)
         self.tracker = FastTracker(announce_size=config.announce_size)
         # The neighbor sets are the *live* adjacency (mutated under churn);
         # the CSR arrays are its frozen snapshot for the vectorized passes.
@@ -210,10 +214,10 @@ class FastSwarmSimulator:
                 self._depart(i, round_index)
             changed = bool(due)
         count = scenario.arrivals_for_round(
-            round_index, self._total_arrived, self.source.stream("scenario")
+            round_index, self._total_arrived, self.source.stream(streams.SCENARIO)
         )
         if count > 0:
-            capacities = scenario.sample_capacities(count, self.source.stream("bandwidth"))
+            capacities = scenario.sample_capacities(count, self.source.stream(streams.BANDWIDTH))
             self._arrive_batch(capacities, round_index)
             self._total_arrived += count
             changed = True
@@ -250,8 +254,8 @@ class FastSwarmSimulator:
         self.n_total = base + count
 
         start_pieces = self.scenario.arrival_pieces(config.piece_count)
-        bootstrap_rng = self.source.stream("bootstrap")
-        announce_rng = self.source.stream("tracker")
+        bootstrap_rng = self.source.stream(streams.BOOTSTRAP)
+        announce_rng = self.source.stream(streams.TRACKER)
         for k in range(count):
             i = base + k
             if start_pieces:
@@ -268,7 +272,7 @@ class FastSwarmSimulator:
 
     # -- simulation ---------------------------------------------------------------
 
-    def run(self):
+    def run(self) -> "SwarmResult":
         """Run the configured rounds; returns a reference ``SwarmResult``."""
         from repro.bittorrent.swarm import SwarmResult
 
@@ -277,7 +281,7 @@ class FastSwarmSimulator:
         observer = self.observer
         if observer is not None:
             observer.begin_run(_FastSwarmView(self))
-        rng = self.source.stream("rounds")
+        rng = self.source.stream(streams.ROUNDS)
         collaboration: Dict[Tuple[int, int], float] = {}
         tft_rounds: Dict[Tuple[int, int], float] = {}
         leecher_complete = (

@@ -11,8 +11,7 @@ itself can be exercised.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from collections import Counter
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set
+from typing import Iterable, List, Optional, Sequence, Set
 
 import numpy as np
 

@@ -10,9 +10,8 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import InitVar, dataclass
-from typing import Iterable, Iterator, List, Optional, Set
+from typing import Iterable, Iterator, Optional, Set
 
-import numpy as np
 
 __all__ = ["Torrent", "Bitfield"]
 
@@ -34,10 +33,10 @@ class Torrent:
 
     piece_count: int
     piece_size_kbit: float = 256.0
-    piece_size_kb: InitVar[Optional[float]] = None
+    piece_size_kb: InitVar[Optional[float]] = None  # repro: allow[RPD005] -- deprecation shim for the *_kb -> *_kbit rename
 
-    def __post_init__(self, piece_size_kb: Optional[float]) -> None:
-        if piece_size_kb is not None:
+    def __post_init__(self, piece_size_kb: Optional[float]) -> None:  # repro: allow[RPD005] -- deprecation shim for the *_kb -> *_kbit rename
+        if piece_size_kb is not None:  # repro: allow[RPD005] -- deprecation shim for the *_kb -> *_kbit rename
             if self.piece_size_kbit != type(self).piece_size_kbit:
                 raise TypeError(
                     "pass piece_size_kbit or the deprecated piece_size_kb, "
@@ -49,7 +48,7 @@ class Torrent:
                 DeprecationWarning,
                 stacklevel=3,
             )
-            object.__setattr__(self, "piece_size_kbit", piece_size_kb)
+            object.__setattr__(self, "piece_size_kbit", piece_size_kb)  # repro: allow[RPD005] -- deprecation shim for the *_kb -> *_kbit rename
         if self.piece_count <= 0:
             raise ValueError("a torrent needs at least one piece")
         if self.piece_size_kbit <= 0:
@@ -73,7 +72,7 @@ class Torrent:
         return self.piece_count * self.piece_size_kbit
 
     @property
-    def total_size_kb(self) -> float:
+    def total_size_kb(self) -> float:  # repro: allow[RPD005] -- deprecation shim for the *_kb -> *_kbit rename
         """Deprecated alias of :attr:`total_size_kbit`."""
         warnings.warn(
             "total_size_kb is deprecated; use total_size_kbit",
@@ -89,7 +88,7 @@ class Torrent:
 
 # The InitVar default survives as a class attribute, which would shadow the
 # __getattr__ deprecation shim; the generated __init__ keeps its own copy.
-del Torrent.piece_size_kb
+del Torrent.piece_size_kb  # repro: allow[RPD005] -- deprecation shim for the *_kb -> *_kbit rename
 
 
 class Bitfield:

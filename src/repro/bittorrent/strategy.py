@@ -27,6 +27,7 @@ import numpy as np
 from repro.bittorrent.bandwidth import BandwidthDistribution, saroiu_like_distribution
 from repro.bittorrent.efficiency import analytic_efficiency
 from repro.sim.random_source import RandomSource
+from repro.sim import streams
 
 __all__ = [
     "minimum_slots_for_connectivity",
@@ -109,7 +110,7 @@ def slot_deviation_payoffs(
     """
     dist = distribution if distribution is not None else saroiu_like_distribution()
     source = RandomSource(seed)
-    uploads = dist.sample(n - 1, source.stream("population"))
+    uploads = dist.sample(n - 1, source.stream(streams.POPULATION))
 
     outcomes: List[SlotDeviationOutcome] = []
     baseline = _deviant_efficiency(

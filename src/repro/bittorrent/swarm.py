@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import InitVar, dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -56,6 +56,7 @@ from repro.bittorrent.telemetry import (
 from repro.bittorrent.tracker import Tracker
 from repro.core.exceptions import validate_engine
 from repro.sim.random_source import RandomSource
+from repro.sim import streams
 
 __all__ = ["SwarmConfig", "SwarmPeer", "SwarmResult", "SwarmSimulator", "stratification_index"]
 
@@ -119,10 +120,10 @@ class SwarmConfig:
     seed_upload_kbps: float = 5000.0
     warmup_rounds: int = 5
     optimistic_period: int = 3
-    piece_size_kb: InitVar[Optional[float]] = None
+    piece_size_kb: InitVar[Optional[float]] = None  # repro: allow[RPD005] -- deprecation shim for the *_kb -> *_kbit rename
 
-    def __post_init__(self, piece_size_kb: Optional[float]) -> None:
-        if piece_size_kb is not None:
+    def __post_init__(self, piece_size_kb: Optional[float]) -> None:  # repro: allow[RPD005] -- deprecation shim for the *_kb -> *_kbit rename
+        if piece_size_kb is not None:  # repro: allow[RPD005] -- deprecation shim for the *_kb -> *_kbit rename
             if self.piece_size_kbit != type(self).piece_size_kbit:
                 raise TypeError(
                     "pass piece_size_kbit or the deprecated piece_size_kb, "
@@ -134,7 +135,7 @@ class SwarmConfig:
                 DeprecationWarning,
                 stacklevel=3,
             )
-            self.piece_size_kbit = piece_size_kb
+            self.piece_size_kbit = piece_size_kb  # repro: allow[RPD005] -- deprecation shim for the *_kb -> *_kbit rename
         if self.leechers <= 1:
             raise ValueError("need at least two leechers")
         if self.seeds < 0:
@@ -163,7 +164,7 @@ class SwarmConfig:
 
 # The InitVar default survives as a class attribute, which would shadow the
 # __getattr__ deprecation shim; the generated __init__ keeps its own copy.
-del SwarmConfig.piece_size_kb
+del SwarmConfig.piece_size_kb  # repro: allow[RPD005] -- deprecation shim for the *_kb -> *_kbit rename
 
 
 def _deprecated_kb_property(new_name: str):
@@ -202,9 +203,9 @@ class SwarmPeer:
     arrival_round: int = 0
     departed_round: Optional[int] = None
 
-    downloaded_kb = _deprecated_kb_property("downloaded_kbit")
-    uploaded_kb = _deprecated_kb_property("uploaded_kbit")
-    partial_kb = _deprecated_kb_property("partial_kbit")
+    downloaded_kb = _deprecated_kb_property("downloaded_kbit")  # repro: allow[RPD005] -- deprecation shim for the *_kb -> *_kbit rename
+    uploaded_kb = _deprecated_kb_property("uploaded_kbit")  # repro: allow[RPD005] -- deprecation shim for the *_kb -> *_kbit rename
+    partial_kb = _deprecated_kb_property("partial_kbit")  # repro: allow[RPD005] -- deprecation shim for the *_kb -> *_kbit rename
 
     def download_rate_kbps(self, rounds: int, round_seconds: float) -> float:
         """Average download rate over the peer's time in the swarm.
@@ -368,7 +369,7 @@ class SwarmSimulator:
         distribution: Optional[BandwidthDistribution],
     ) -> None:
         config = self.config
-        rng = self.source.stream("bandwidth")
+        rng = self.source.stream(streams.BANDWIDTH)
         if bandwidths is not None:
             uploads = np.asarray(list(bandwidths), dtype=float)
             if uploads.shape[0] != config.leechers:
@@ -377,8 +378,8 @@ class SwarmSimulator:
             dist = distribution if distribution is not None else saroiu_like_distribution()
             uploads = dist.sample(config.leechers, rng)
 
-        bootstrap_rng = self.source.stream("bootstrap")
-        announce_rng = self.source.stream("tracker")
+        bootstrap_rng = self.source.stream(streams.BOOTSTRAP)
+        announce_rng = self.source.stream(streams.TRACKER)
         peer_id = 0
         for index in range(config.leechers):
             peer_id += 1
@@ -447,10 +448,10 @@ class SwarmSimulator:
             for pid in due:
                 self._depart(pid, round_index)
         count = scenario.arrivals_for_round(
-            round_index, self._total_arrived, self.source.stream("scenario")
+            round_index, self._total_arrived, self.source.stream(streams.SCENARIO)
         )
         if count > 0:
-            capacities = scenario.sample_capacities(count, self.source.stream("bandwidth"))
+            capacities = scenario.sample_capacities(count, self.source.stream(streams.BANDWIDTH))
             for k in range(count):
                 self._arrive(float(capacities[k]), round_index)
             self._total_arrived += count
@@ -474,7 +475,7 @@ class SwarmSimulator:
         bitfield = Bitfield.empty(config.piece_count)
         start_pieces = self.scenario.arrival_pieces(config.piece_count)
         if start_pieces:
-            for piece in self.source.stream("bootstrap").choice(
+            for piece in self.source.stream(streams.BOOTSTRAP).choice(
                 config.piece_count, size=start_pieces, replace=False
             ):
                 bitfield.add(int(piece))
@@ -491,7 +492,7 @@ class SwarmSimulator:
             optimistic_slots=config.optimistic_slots,
             optimistic_period=config.optimistic_period,
         )
-        contacts = self.tracker.announce(pid, self.source.stream("tracker"))
+        contacts = self.tracker.announce(pid, self.source.stream(streams.TRACKER))
         peer.neighbors.update(contacts)
         for other in contacts:
             self.peers[other].neighbors.add(pid)
@@ -507,7 +508,7 @@ class SwarmSimulator:
         observer = self.observer
         if observer is not None:
             observer.begin_run(_ReferenceSwarmView(self))
-        rng = self.source.stream("rounds")
+        rng = self.source.stream(streams.ROUNDS)
         collaboration: Dict[Tuple[int, int], float] = {}
         tft_rounds: Dict[Tuple[int, int], float] = {}
         completed = sum(1 for p in self.peers.values() if not p.is_seed and p.bitfield.is_complete())
@@ -637,7 +638,7 @@ class SwarmSimulator:
                     self.tracker.record_completion(receiver_id)
             receiver.partial_kbit[sender_id] = credit
 
-        for pid, received in received_now.items():
+        for pid, received in sorted(received_now.items()):
             self.peers[pid].received_last_round = received
         return newly_completed
 

@@ -41,9 +41,10 @@ curves, the observed stratification index) live in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.bittorrent.tracker import ScrapeStats
+from repro.sim import streams
 from repro.sim.recorder import MetricRecorder
 
 __all__ = [
@@ -55,7 +56,8 @@ __all__ = [
     "resolve_observer",
 ]
 
-POLL_STREAM = "telemetry-poll"
+#: Back-compat alias; the name is declared centrally in the stream registry.
+POLL_STREAM = streams.TELEMETRY_POLL
 
 
 @dataclass(frozen=True)
@@ -355,7 +357,7 @@ class SwarmObserver:
             # Drawn by *index* so stream consumption depends only on the
             # population size -- identical across engines, and isolated in
             # the observer's own named stream.
-            rng = view.source.stream(POLL_STREAM)
+            rng = view.source.stream(streams.TELEMETRY_POLL)
             chosen = rng.choice(len(known), size=budget, replace=False)
             sample = sorted(known[int(i)] for i in chosen)
         else:

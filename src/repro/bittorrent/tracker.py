@@ -18,7 +18,7 @@ so an attached observer cannot perturb a run.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Set
 
 import numpy as np
 

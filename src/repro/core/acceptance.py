@@ -17,8 +17,9 @@ import numpy as np
 from repro.core.exceptions import ModelError, UnknownPeerError
 from repro.core.peer import PeerPopulation
 from repro.graphs.base import UndirectedGraph
-from repro.graphs.complete import complete_graph
-from repro.graphs.erdos_renyi import erdos_renyi_expected_degree, erdos_renyi_graph
+from repro.graphs.erdos_renyi import erdos_renyi_graph
+from repro.sim import streams
+from repro.sim.random_source import fallback_rng
 
 __all__ = ["AcceptanceGraph"]
 
@@ -75,7 +76,7 @@ class AcceptanceGraph:
         ids = population.ids()
         n = len(ids)
         if rng is None:
-            rng = np.random.default_rng()
+            rng = fallback_rng(streams.GRAPH)
         if probability is None:
             if n < 2:
                 base = UndirectedGraph(ids)

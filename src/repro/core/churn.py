@@ -34,6 +34,7 @@ from repro.core.ranking import GlobalRanking
 from repro.core.stable import stable_configuration
 from repro.sim.random_source import RandomSource
 from repro.sim.recorder import TimeSeries
+from repro.sim import streams
 
 __all__ = ["ChurnConfig", "ChurnSimulation", "simulate_churn"]
 
@@ -187,13 +188,13 @@ def simulate_churn(config: ChurnConfig, *, seed: int = 0) -> ChurnSimulation:
     recomputed after every churn event.
     """
     source = RandomSource(seed)
-    graph_rng = source.stream("graph")
-    churn_rng = source.stream("churn")
-    initiative_rng = source.stream("initiatives")
+    graph_rng = source.stream(streams.GRAPH)
+    churn_rng = source.stream(streams.CHURN)
+    initiative_rng = source.stream(streams.INITIATIVES)
 
     # The paper labels peers by rank; under churn new peers get fresh scores
     # drawn uniformly, which keeps all marks distinct with probability one.
-    score_rng = source.stream("scores")
+    score_rng = source.stream(streams.SCORES)
     scores = score_rng.random(config.n)
     population = PeerPopulation.from_scores(scores, slots=config.slots)
     acceptance = AcceptanceGraph.erdos_renyi(

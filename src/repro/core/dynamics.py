@@ -20,21 +20,21 @@ Two interchangeable backends run the process:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Optional, Sequence
 
-import numpy as np
 
 from repro.core.acceptance import AcceptanceGraph
 from repro.core.exceptions import validate_engine
 from repro.core.initiatives import InitiativeStrategy, make_strategy
-from repro.core.matching import Matching, is_stable
+from repro.core.matching import Matching
 from repro.core.metrics import disorder
 from repro.core.peer import PeerPopulation
 from repro.core.ranking import GlobalRanking
 from repro.core.stable import stable_configuration
 from repro.sim.random_source import RandomSource
 from repro.sim.recorder import TimeSeries
+from repro.sim import streams
 
 __all__ = [
     "ConvergenceResult",
@@ -161,7 +161,7 @@ class ConvergenceSimulator:
         n = len(self.acceptance.population)
         if n == 0:
             raise ValueError("cannot simulate an empty population")
-        rng = self.source.stream("initiatives")
+        rng = self.source.stream(streams.INITIATIVES)
 
         trajectory = TimeSeries("disorder")
         peer_ids = self.acceptance.peer_ids()
@@ -224,7 +224,7 @@ def simulate_convergence(
     source = RandomSource(seed)
     population = PeerPopulation.ranked(n, slots=slots)
     acceptance = AcceptanceGraph.erdos_renyi(
-        population, expected_degree=expected_degree, rng=source.stream("graph")
+        population, expected_degree=expected_degree, rng=source.stream(streams.GRAPH)
     )
     simulator = ConvergenceSimulator(
         acceptance, strategy=strategy, source=source, engine=engine
@@ -257,7 +257,7 @@ def simulate_peer_removal(
     source = RandomSource(seed)
     population = PeerPopulation.ranked(n, slots=slots)
     acceptance = AcceptanceGraph.erdos_renyi(
-        population, expected_degree=expected_degree, rng=source.stream("graph")
+        population, expected_degree=expected_degree, rng=source.stream(streams.GRAPH)
     )
     ranking = GlobalRanking.from_population(population)
     before_removal = stable_configuration(acceptance, ranking, engine=engine)

@@ -31,6 +31,7 @@ from repro.core.matching import Matching
 from repro.core.ranking import GlobalRanking
 from repro.sim.random_source import RandomSource
 from repro.sim.recorder import TimeSeries
+from repro.sim import streams
 
 __all__ = [
     "FastInitiativeStrategy",
@@ -214,7 +215,7 @@ class FastConvergenceSimulator:
         n = self.arrays.n
         if n == 0:
             raise ValueError("cannot simulate an empty population")
-        rng = self.source.stream("initiatives")
+        rng = self.source.stream(streams.INITIATIVES)
 
         trajectory = TimeSeries("disorder")
         total_steps = int(round(max_base_units * n))

@@ -19,7 +19,7 @@ they differ only in the number of initiatives needed.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 

@@ -20,8 +20,7 @@ Two quantities from the paper:
 
 from __future__ import annotations
 
-import math
-from typing import Dict, List, Optional
+from typing import List
 
 from repro.core.matching import Matching
 from repro.core.ranking import GlobalRanking

@@ -14,7 +14,7 @@ samplers used by the variable-b experiments (Section 4.2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
 import numpy as np

@@ -17,7 +17,7 @@ framework discussion, with two concrete instances:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional
 
 from repro.core.exceptions import ModelError, UnknownPeerError
 from repro.core.peer import PeerPopulation

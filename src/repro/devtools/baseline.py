@@ -1,0 +1,116 @@
+"""Committed-baseline support: make the determinism gate additive.
+
+A baseline entry is a stable fingerprint of one existing finding
+(path + rule code + the offending line's stripped text).  Findings that
+match a baseline entry are reported but do not fail the gate, so the
+linter can land with legacy debt recorded instead of blocking; new
+violations -- anywhere -- still fail.  Fingerprints are text-anchored, not
+line-number-anchored, so unrelated edits that shift lines do not
+invalidate the baseline, while editing the offending line itself does
+(which is the desired behaviour: touched code must be brought up to the
+contract).
+
+The repository policy on top of the mechanism: ``sim/``, ``core/fast/``
+and ``bittorrent/fast/`` must have **zero** baseline entries -- the
+engine-critical trees carry no recorded debt.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.devtools.rules import Finding
+
+__all__ = [
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+    "BASELINE_VERSION",
+]
+
+BASELINE_VERSION = 1
+
+
+def fingerprint(finding: Finding) -> str:
+    """Stable identity of a finding: path, code and offending line text."""
+    payload = f"{finding.path}|{finding.code}|{finding.snippet}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def load_baseline(path: Path) -> Counter:
+    """Load a baseline file into a fingerprint multiset.
+
+    A missing file is an empty baseline; a malformed one raises
+    ``ValueError`` (a silently ignored baseline would un-gate the tree).
+    """
+    if not path.exists():
+        return Counter()
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise ValueError(f"baseline file {path} is not valid JSON: {error}") from error
+    if not isinstance(payload, dict) or "entries" not in payload:
+        raise ValueError(f"baseline file {path} must be an object with 'entries'")
+    counts: Counter = Counter()
+    for entry in payload["entries"]:
+        if not isinstance(entry, dict) or "fingerprint" not in entry:
+            raise ValueError(f"baseline entry {entry!r} is missing 'fingerprint'")
+        counts[str(entry["fingerprint"])] += 1
+    return counts
+
+
+def write_baseline(path: Path, findings: List[Finding]) -> None:
+    """Write the given (active) findings as the new baseline."""
+    entries = [
+        {
+            "path": finding.path,
+            "code": finding.code,
+            "fingerprint": fingerprint(finding),
+            "snippet": finding.snippet,
+        }
+        for finding in sorted(findings, key=lambda f: (f.path, f.line, f.code))
+    ]
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def apply_baseline(
+    findings: List[Finding], baseline: Counter
+) -> Tuple[List[Finding], Dict[str, int]]:
+    """Mark findings covered by the baseline multiset.
+
+    Returns the updated findings plus a summary with the number of
+    baseline entries consumed and left unused (stale entries should be
+    pruned with ``--write-baseline``).
+    """
+    remaining = Counter(baseline)
+    out: List[Finding] = []
+    consumed = 0
+    for finding in findings:
+        if finding.suppressed:
+            out.append(finding)
+            continue
+        key = fingerprint(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            consumed += 1
+            out.append(
+                Finding(
+                    finding.path,
+                    finding.line,
+                    finding.col,
+                    finding.code,
+                    finding.message,
+                    snippet=finding.snippet,
+                    baselined=True,
+                )
+            )
+        else:
+            out.append(finding)
+    unused = sum(count for count in remaining.values() if count > 0)
+    return out, {"consumed": consumed, "unused": unused}

@@ -9,7 +9,7 @@ variable b produces a phase transition in the mean cluster size.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List
+from typing import List
 
 import numpy as np
 

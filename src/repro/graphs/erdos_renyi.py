@@ -17,6 +17,8 @@ from typing import Optional
 import numpy as np
 
 from repro.graphs.base import UndirectedGraph
+from repro.sim import streams
+from repro.sim.random_source import fallback_rng
 
 __all__ = ["erdos_renyi_graph", "expected_degree_to_probability", "erdos_renyi_expected_degree"]
 
@@ -58,7 +60,10 @@ def erdos_renyi_graph(
     p:
         Independent probability of each edge.
     rng:
-        Numpy random generator (a default one is created if omitted).
+        Numpy random generator, normally a named
+        :class:`~repro.sim.random_source.RandomSource` stream.  Omitting it
+        is deprecated: the fallback is a fixed deterministic stream (so two
+        implicit calls can no longer diverge silently) and warns.
     first_id:
         Label of the first vertex (default 1 to match the paper).
     """
@@ -67,7 +72,7 @@ def erdos_renyi_graph(
     if not 0.0 <= p <= 1.0:
         raise ValueError(f"edge probability must be in [0, 1], got {p}")
     if rng is None:
-        rng = np.random.default_rng()
+        rng = fallback_rng(streams.GRAPH)
 
     graph = UndirectedGraph(range(first_id, first_id + n))
     if n < 2 or p == 0.0:

@@ -14,6 +14,8 @@ from typing import Optional
 import numpy as np
 
 from repro.graphs.base import UndirectedGraph
+from repro.sim import streams
+from repro.sim.random_source import fallback_rng
 
 __all__ = ["random_regular_graph", "ring_lattice", "configuration_model_graph"]
 
@@ -53,7 +55,7 @@ def random_regular_graph(
     regular case and fast for the moderate degrees used in this library.
     """
     if rng is None:
-        rng = np.random.default_rng()
+        rng = fallback_rng(streams.GRAPH)
     if n <= 0:
         raise ValueError("n must be positive")
     if degree < 0 or degree >= n:
@@ -100,7 +102,7 @@ def configuration_model_graph(
     degree sequence must have an even sum.
     """
     if rng is None:
-        rng = np.random.default_rng()
+        rng = fallback_rng(streams.GRAPH)
     if any(d < 0 for d in degrees):
         raise ValueError("degrees must be non-negative")
     if sum(degrees) % 2 != 0:

@@ -11,7 +11,7 @@ from __future__ import annotations
 import itertools
 import time as _time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Sequence
 
 from repro.sim.random_source import RandomSource
 

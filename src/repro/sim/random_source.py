@@ -16,11 +16,15 @@ generation, ...).
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, Iterable, Optional, Sequence
+import warnings
+from typing import Any, Dict, Iterable, Optional, Sequence
 
 import numpy as np
 
-__all__ = ["RandomSource", "derive_seed"]
+__all__ = ["RandomSource", "derive_seed", "fallback_rng"]
+
+#: Master seed anchoring the deprecated implicit-rng fallback streams.
+_FALLBACK_MASTER_SEED = 0
 
 
 def derive_seed(master_seed: int, name: str) -> int:
@@ -34,6 +38,30 @@ def derive_seed(master_seed: int, name: str) -> int:
     return int.from_bytes(digest[:8], "big") & 0x7FFF_FFFF_FFFF_FFFF
 
 
+def fallback_rng(stream_name: str) -> np.random.Generator:
+    """Deterministic stand-in for a deprecated implicit ``rng=None`` default.
+
+    Several generators historically fell back to a *seedless*
+    ``np.random.default_rng()`` when no generator was passed, which made
+    two nominally identical calls diverge silently -- the exact failure
+    mode the named-stream discipline exists to prevent.  During the
+    one-release deprecation window those call sites route here instead:
+    the caller gets a generator derived from a fixed master seed and the
+    call site's stream name, so repeated implicit calls are *identical*
+    (divergence now requires passing distinct rngs explicitly), and a
+    :class:`DeprecationWarning` tells the caller to pass ``rng=``.
+    """
+    warnings.warn(
+        f"calling this without rng= is deprecated; pass a generator from a "
+        f"named RandomSource stream (e.g. source.stream(...)). The implicit "
+        f"default is now the deterministic '{stream_name}' fallback stream "
+        f"and will be removed in the next release.",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return np.random.default_rng(derive_seed(_FALLBACK_MASTER_SEED, stream_name))
+
+
 class RandomSource:
     """A factory of named, reproducible random streams.
 
@@ -42,6 +70,11 @@ class RandomSource:
     seed:
         Master seed.  ``None`` draws a fresh random master seed (the value is
         recorded in :attr:`seed` so the run can still be reproduced).
+    strict_streams:
+        When ``True``, :meth:`stream` / :meth:`fresh_stream` reject names
+        not declared in the :mod:`repro.sim.streams` registry.  Off by
+        default (the static linter is the primary enforcement; strict mode
+        is for tests and new subsystems).
 
     Examples
     --------
@@ -51,11 +84,23 @@ class RandomSource:
     True
     """
 
-    def __init__(self, seed: Optional[int] = None) -> None:
+    def __init__(self, seed: Optional[int] = None, *, strict_streams: bool = False) -> None:
         if seed is None:
             seed = int(np.random.SeedSequence().entropy) & 0x7FFF_FFFF_FFFF_FFFF
         self._seed = int(seed)
+        self._strict_streams = bool(strict_streams)
         self._streams: Dict[str, np.random.Generator] = {}
+
+    def _check_name(self, name: str) -> None:
+        if self._strict_streams:
+            from repro.sim import streams
+
+            if not streams.is_registered(name):
+                raise KeyError(
+                    f"stream name {name!r} is not declared in repro.sim.streams "
+                    f"(strict_streams=True); register it or use an existing "
+                    f"constant"
+                )
 
     @property
     def seed(self) -> int:
@@ -70,11 +115,13 @@ class RandomSource:
         other streams.
         """
         if name not in self._streams:
+            self._check_name(name)
             self._streams[name] = np.random.default_rng(derive_seed(self._seed, name))
         return self._streams[name]
 
     def fresh_stream(self, name: str) -> np.random.Generator:
         """Return a brand-new generator for ``name`` (does not reuse state)."""
+        self._check_name(name)
         return np.random.default_rng(derive_seed(self._seed, name))
 
     def spawn(self, name: str) -> "RandomSource":
@@ -85,7 +132,9 @@ class RandomSource:
         """
         return RandomSource(derive_seed(self._seed, name))
 
-    def choice(self, name: str, items: Sequence, size: Optional[int] = None, *, replace: bool = True):
+    def choice(
+        self, name: str, items: Sequence[Any], size: Optional[int] = None, *, replace: bool = True
+    ) -> Any:
         """Convenience wrapper around ``stream(name).choice``.
 
         ``replace=False`` draws without replacement (tracker-announce-style
@@ -94,7 +143,7 @@ class RandomSource:
         rng = self.stream(name)
         return rng.choice(items, size=size, replace=replace)
 
-    def shuffled(self, name: str, items: Iterable) -> list:
+    def shuffled(self, name: str, items: Iterable[Any]) -> list:
         """Return a shuffled copy of ``items`` using the named stream."""
         out = list(items)
         self.stream(name).shuffle(out)

@@ -9,7 +9,7 @@ benchmark harnesses that re-print the paper's figures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -37,7 +37,7 @@ class TimeSeries:
     def __len__(self) -> int:
         return len(self.times)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Tuple[float, float]]:
         return iter(zip(self.times, self.values))
 
     def as_arrays(self) -> Tuple[np.ndarray, np.ndarray]:

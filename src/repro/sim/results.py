@@ -8,7 +8,7 @@ same table can be produced from an example script, a benchmark, or the CLI.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Sequence
 
 import numpy as np
 

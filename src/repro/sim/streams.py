@@ -1,0 +1,243 @@
+"""Central registry of named random streams (the determinism contract).
+
+Every stochastic component draws its randomness from a *named* child
+stream of a :class:`~repro.sim.random_source.RandomSource`.  The names are
+the contract that keeps ``engine="fast"`` and ``engine="reference"``
+bit-identical under a shared seed: both engines must request the same
+stream names, in the same per-round order, and consume the same number of
+draws from each.
+
+This module is the single place where stream names are declared.  Code
+must consume streams through the constants below (``streams.BANDWIDTH``,
+never the bare literal ``"bandwidth"``); the determinism linter
+(:mod:`repro.devtools.lint`, rule RPD002) rejects string-literal stream
+names that are not declared here and checks that the reference and fast
+engine trees consume the same *engine-paired* stream sets.
+
+Adding a new stochastic feature therefore means:
+
+1. declare its stream here (constant + :class:`StreamSpec` entry, with
+   ``engine_paired=True`` if both engine trees will consume it);
+2. consume it via ``source.stream(streams.YOUR_STREAM)``;
+3. run ``repro-p2p-lint src`` -- an undeclared or unpaired stream is a
+   lint failure, not a 60-second equivalence-test failure.
+
+See ``docs/determinism.md`` for the full discipline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Mapping
+
+__all__ = [
+    "StreamSpec",
+    "REGISTRY",
+    "GRAPH",
+    "CHURN",
+    "SCORES",
+    "INITIATIVES",
+    "BANDWIDTH",
+    "BOOTSTRAP",
+    "TRACKER",
+    "SCENARIO",
+    "ROUNDS",
+    "POPULATION",
+    "TELEMETRY_POLL",
+    "DYNAMIC_PREFIXES",
+    "registered_names",
+    "is_registered",
+    "spec",
+    "paired_names",
+    "constant_map",
+]
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """Declaration of one named random stream.
+
+    Attributes
+    ----------
+    name:
+        The stream name passed to :meth:`RandomSource.stream`.
+    domain:
+        Which subsystem owns the stream (``"core"`` for the matching
+        dynamics, ``"bittorrent"`` for the swarm simulator).
+    engine_paired:
+        Whether the stream is consumed inside *both* trees of an
+        engine pair (``core/`` vs ``core/fast/``, ``bittorrent/`` vs
+        ``bittorrent/fast/``).  Paired streams are subject to the
+        linter's cross-engine parity check; unpaired streams live in
+        shared drivers, analysis modules or observers that have no fast
+        counterpart.
+    description:
+        What the stream's draws decide.
+    """
+
+    name: str
+    domain: str
+    engine_paired: bool
+    description: str
+
+
+# -- core (matching dynamics) ---------------------------------------------------
+
+#: Acceptance-graph generation (Erdős–Rényi edges, fresh churn neighborhoods).
+GRAPH = "graph"
+#: Churn event scheduling: whether an event fires, join-vs-leave, victim draw.
+CHURN = "churn"
+#: Fresh peer scores drawn when churn introduces a new peer.
+SCORES = "scores"
+#: Initiative process: initiating peer draw and random-strategy targets.
+INITIATIVES = "initiatives"
+
+# -- bittorrent (swarm simulator) -----------------------------------------------
+
+#: Upload-capacity sampling for leechers (initial population and arrivals).
+BANDWIDTH = "bandwidth"
+#: Bootstrap piece endowments of freshly arrived leechers.
+BOOTSTRAP = "bootstrap"
+#: Tracker announces: the random peer subsets returned to each peer.
+TRACKER = "tracker"
+#: Dynamic-membership scenarios: per-round arrival counts.
+SCENARIO = "scenario"
+#: Per-round swarm randomness: optimistic-unchoke draws and tie-breaks.
+ROUNDS = "rounds"
+#: Slot-strategy population sampling (Section 6 slot-count arguments).
+POPULATION = "population"
+#: Observer peer-poll sampling (which peers a measurer contacts).
+TELEMETRY_POLL = "telemetry-poll"
+
+
+REGISTRY: Mapping[str, StreamSpec] = {
+    spec_.name: spec_
+    for spec_ in (
+        StreamSpec(
+            GRAPH,
+            "core",
+            False,
+            "acceptance-graph edges; consumed by shared drivers before the "
+            "engine split, so both engines see identical graphs",
+        ),
+        StreamSpec(
+            CHURN,
+            "core",
+            False,
+            "churn event timing and join/leave/victim draws in the shared "
+            "churn driver",
+        ),
+        StreamSpec(
+            SCORES,
+            "core",
+            False,
+            "fresh peer scores under churn (shared driver)",
+        ),
+        StreamSpec(
+            INITIATIVES,
+            "core",
+            True,
+            "initiating-peer and proposal-target draws of the convergence "
+            "dynamics; consumed by both the reference and the fast engine",
+        ),
+        StreamSpec(
+            BANDWIDTH,
+            "bittorrent",
+            True,
+            "leecher upload capacities, for the initial population and for "
+            "scenario arrivals",
+        ),
+        StreamSpec(
+            BOOTSTRAP,
+            "bittorrent",
+            True,
+            "bootstrap piece endowments of new leechers",
+        ),
+        StreamSpec(
+            TRACKER,
+            "bittorrent",
+            True,
+            "tracker announce subsets (the swarm's acceptance graph)",
+        ),
+        StreamSpec(
+            SCENARIO,
+            "bittorrent",
+            True,
+            "per-round arrival counts of dynamic-membership scenarios",
+        ),
+        StreamSpec(
+            ROUNDS,
+            "bittorrent",
+            True,
+            "per-round swarm draws: optimistic unchokes and piece tie-breaks",
+        ),
+        StreamSpec(
+            POPULATION,
+            "bittorrent",
+            False,
+            "slot-budget population sampling in the Section 6 strategy "
+            "analysis (no fast counterpart)",
+        ),
+        StreamSpec(
+            TELEMETRY_POLL,
+            "bittorrent",
+            False,
+            "observer poll sampling; engine-agnostic by construction, so it "
+            "is consumed outside both engine trees",
+        ),
+    )
+}
+
+
+#: Parameterized stream families: names built as ``f"{prefix}{params}"``
+#: (one fresh stream per Monte-Carlo sample / sweep point).  Declared by
+#: prefix because the full set is unbounded.
+DYNAMIC_PREFIXES: Mapping[str, str] = {
+    "graph-": "per-sample Monte-Carlo acceptance-graph streams "
+    "(analytical validation, efficiency observations)",
+    "slots-": "per-(sigma, repetition) slot-sampling streams "
+    "(stratification phase transition)",
+}
+
+
+def registered_names() -> FrozenSet[str]:
+    """All declared (non-dynamic) stream names."""
+    return frozenset(REGISTRY)
+
+
+def is_registered(name: str) -> bool:
+    """Whether ``name`` is declared, exactly or via a dynamic prefix."""
+    if name in REGISTRY:
+        return True
+    return any(name.startswith(prefix) for prefix in DYNAMIC_PREFIXES)
+
+
+def spec(name: str) -> StreamSpec:
+    """The :class:`StreamSpec` for ``name`` (KeyError if undeclared)."""
+    return REGISTRY[name]
+
+
+def paired_names(domain: str) -> FrozenSet[str]:
+    """Engine-paired stream names of ``domain`` (``"core"``/``"bittorrent"``).
+
+    These are the streams the linter requires both trees of the domain's
+    engine pair to consume.
+    """
+    return frozenset(
+        s.name for s in REGISTRY.values() if s.domain == domain and s.engine_paired
+    )
+
+
+def constant_map() -> Dict[str, str]:
+    """Map from module-level constant name to stream name.
+
+    The determinism linter uses this to resolve ``streams.BANDWIDTH`` /
+    ``from repro.sim.streams import BANDWIDTH`` references back to the
+    stream they denote when collecting per-tree consumption sets.
+    """
+    out: Dict[str, str] = {}
+    module_globals = globals()
+    for const, value in module_globals.items():
+        if const.isupper() and isinstance(value, str) and value in REGISTRY:
+            out[const] = value
+    return out

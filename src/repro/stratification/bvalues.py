@@ -13,6 +13,9 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.sim import streams
+from repro.sim.random_source import fallback_rng
+
 __all__ = ["constant_slots", "rounded_normal_slots", "slot_statistics"]
 
 
@@ -44,7 +47,7 @@ def rounded_normal_slots(
     if mean < 1:
         raise ValueError("mean slot budget must be at least 1")
     if rng is None:
-        rng = np.random.default_rng()
+        rng = fallback_rng(streams.POPULATION)
     if sigma == 0:
         return [max(1, int(round(mean)))] * n
     samples = rng.normal(loc=mean, scale=sigma, size=n)

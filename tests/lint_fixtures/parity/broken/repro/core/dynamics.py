@@ -1,0 +1,8 @@
+"""Parity fixture (reference tree): consumes the paired core stream."""
+
+from repro.sim import streams
+
+
+def step(source, state):
+    stream = source.stream(streams.INITIATIVES)
+    return state.advance(stream)

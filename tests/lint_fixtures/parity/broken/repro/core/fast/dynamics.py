@@ -1,0 +1,5 @@
+"""Parity fixture (fast tree): forgets the paired stream -- parity breaks."""
+
+
+def step_batched(state):
+    return state.advance_batched()

@@ -1,0 +1,8 @@
+"""Parity fixture (fast tree): consumes the same paired core stream."""
+
+from repro.sim import streams
+
+
+def step_batched(source, state):
+    stream = source.stream(streams.INITIATIVES)
+    return state.advance_batched(stream)

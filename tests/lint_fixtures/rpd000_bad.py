@@ -1,0 +1,7 @@
+"""RPD000 must fire: malformed pragmas (each line is one variant)."""
+
+import numpy as np
+
+A = np.random.default_rng()  # repro: allow[] -- empty code list
+B = np.random.default_rng()  # repro: allow[RPD999] -- unknown rule code
+C = np.random.default_rng()  # repro: allow[RPD001]

@@ -1,0 +1,18 @@
+"""RPD001 must fire: seedless / global-state RNG construction."""
+
+import random
+
+import numpy as np
+from random import shuffle  # noqa: F401  -- from-import of a stochastic callable
+
+
+def seedless_generator():
+    return np.random.default_rng()
+
+
+def numpy_global_state(n):
+    return np.random.uniform(size=n)
+
+
+def stdlib_global_state():
+    return random.random()

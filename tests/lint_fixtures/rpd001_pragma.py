@@ -1,0 +1,7 @@
+"""RPD001 suppressed by a justified pragma."""
+
+import numpy as np
+
+
+def throwaway_generator():
+    return np.random.default_rng()  # repro: allow[RPD001] -- fixture: demo-only generator, output never reaches simulation state

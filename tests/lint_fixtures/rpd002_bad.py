@@ -1,0 +1,9 @@
+"""RPD002 must fire: undeclared and bare-literal stream names."""
+
+
+def undeclared_stream(source):
+    return source.stream("mystery-stream")
+
+
+def bare_literal(source):
+    return source.fresh_stream("bandwidth")

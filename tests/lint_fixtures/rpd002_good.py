@@ -1,0 +1,16 @@
+"""RPD002 clean counterpart: registry constants and dynamic families."""
+
+from repro.sim import streams
+from repro.sim.streams import TRACKER
+
+
+def registry_constant(source):
+    return source.stream(streams.BANDWIDTH)
+
+
+def imported_constant(source):
+    return source.stream(TRACKER)
+
+
+def dynamic_family(source, index):
+    return source.fresh_stream(f"graph-{index}")

@@ -1,0 +1,5 @@
+"""RPD002 suppressed by a justified pragma."""
+
+
+def migration_shim(source):
+    return source.stream("bandwidth")  # repro: allow[RPD002] -- fixture: literal kept for a wire-format migration test

@@ -1,0 +1,25 @@
+"""RPD003 must fire: bare set/dict iteration in rng-touching functions."""
+
+from repro.sim import streams
+
+
+def set_literal_iteration(rng):
+    total = 0.0
+    for peer in {3, 1, 2}:
+        total += rng.random() * peer
+    return total
+
+
+def tracked_set_iteration(rng):
+    pending = set()
+    pending.add(rng.integers(10))
+    return [rng.random() for item in pending]
+
+
+def dict_items_iteration(source):
+    stream = source.stream(streams.ROUNDS)
+    weights = {1: 0.5, 2: 0.5}
+    out = []
+    for pid, weight in weights.items():
+        out.append(stream.random() * weight)
+    return out

@@ -1,0 +1,21 @@
+"""RPD003 clean counterparts: ordered iteration, or no rng in scope."""
+
+from repro.sim import streams
+
+
+def sorted_iteration(rng):
+    pending = {3, 1, 2}
+    return [rng.random() * peer for peer in sorted(pending)]
+
+
+def sorted_dict_items(source):
+    stream = source.stream(streams.ROUNDS)
+    weights = {1: 0.5, 2: 0.5}
+    return [stream.random() * w for _, w in sorted(weights.items())]
+
+
+def no_rng_in_scope(records):
+    seen = set()
+    for record in {r for r in records}:
+        seen.add(record)
+    return seen

@@ -1,0 +1,9 @@
+"""RPD003 suppressed by a justified pragma."""
+
+
+def commutative_accumulation(rng):
+    weights = {1: 0.5, 2: 0.5}
+    total = 0.0
+    for weight in weights.values():  # repro: allow[RPD003] -- fixture: sum is commutative, order cannot leak into draws
+        total += weight
+    return total * rng.random()

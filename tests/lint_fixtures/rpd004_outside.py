@@ -1,0 +1,7 @@
+"""RPD004 scope check: wall clock outside simulation paths is allowed."""
+
+import time
+
+
+def stamp_log_line(line):
+    return f"{time.time():.3f} {line}"

@@ -1,0 +1,9 @@
+"""RPD005 must fire: deprecated *_kb spellings."""
+
+
+def piece_size_kb(torrent):
+    return torrent.total_size_kb / torrent.piece_count
+
+
+def upload_budget(peer, downloaded_kb):
+    return peer.capacity - downloaded_kb

@@ -1,0 +1,9 @@
+"""RPD005 clean counterpart: *_kbit spellings throughout."""
+
+
+def piece_size_kbit(torrent):
+    return torrent.total_size_kbit / torrent.piece_count
+
+
+def upload_budget(peer, downloaded_kbit):
+    return peer.capacity - downloaded_kbit

@@ -1,0 +1,10 @@
+"""RPD004 must fire: wall-clock reads inside a simulation-module path."""
+
+import datetime
+import time
+
+
+def stamp_round(state):
+    state.started_at = time.time()
+    state.label = datetime.datetime.now().isoformat()
+    return state

@@ -1,0 +1,10 @@
+"""RPD004 clean counterpart: monotonic profiling clocks are allowed."""
+
+import time
+
+
+def profile_round(state):
+    start = time.perf_counter()
+    state.advance()
+    state.elapsed = time.perf_counter() - start
+    return state

@@ -1,0 +1,8 @@
+"""RPD004 suppressed by a justified pragma."""
+
+import time
+
+
+def stamp_report(report):
+    report.written_at = time.time()  # repro: allow[RPD004] -- fixture: timestamp decorates the output file, never simulation state
+    return report

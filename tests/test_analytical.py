@@ -176,7 +176,6 @@ class TestExactSmall:
     def test_b_matching_enumeration_choice_ordering(self):
         result = exact_choice_probabilities(4, 0.5, 2)
         # First choices concentrate on better ranks than second choices.
-        ranks = np.arange(1, 5)
         first_mass = result[1].sum(axis=1)
         second_mass = result[2].sum(axis=1)
         assert np.all(first_mass + 1e-12 >= second_mass)

@@ -15,8 +15,7 @@ from repro.core.initiatives import (
     apply_initiative,
     make_strategy,
 )
-from repro.core.matching import Matching, is_stable
-from repro.core.metrics import disorder
+from repro.core.matching import Matching
 from repro.core.peer import PeerPopulation
 from repro.core.ranking import GlobalRanking
 from repro.core.stable import stable_configuration

@@ -25,7 +25,6 @@ from repro.core.dynamics import (
 )
 from repro.core.exceptions import ModelError
 from repro.core.fast.arrays import PeerArrays
-from repro.core.fast.dynamics import FastConvergenceSimulator
 from repro.core.fast.engine import FastMatching, fast_stable_configuration
 from repro.core.matching import Matching, blocking_pairs, is_stable
 from repro.core.peer import Peer, PeerPopulation

@@ -8,7 +8,6 @@ import pytest
 from repro import experiments
 from repro import cli
 from repro.cli import build_parser, main
-from repro.sim.results import ResultTable
 
 
 class TestFigureDrivers:

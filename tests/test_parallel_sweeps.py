@@ -19,7 +19,6 @@ figure1 / figure6 / swarm sweep families.
 from __future__ import annotations
 
 import json
-from pathlib import Path
 
 import numpy as np
 import pytest

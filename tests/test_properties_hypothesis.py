@@ -9,12 +9,11 @@ from hypothesis import strategies as st
 
 from repro.analytical.one_matching import independent_one_matching
 from repro.core.acceptance import AcceptanceGraph
-from repro.core.matching import Matching, blocking_pairs, is_stable
+from repro.core.matching import Matching, is_stable
 from repro.core.metrics import matching_distance, mean_max_offset_exact_constant
 from repro.core.peer import PeerPopulation
 from repro.core.ranking import GlobalRanking
 from repro.core.stable import stable_configuration
-from repro.graphs.erdos_renyi import erdos_renyi_graph
 from repro.stratification.clustering import analyze_complete_matching, complete_graph_stable_matching
 
 # Keep the generated systems small so each example solves in milliseconds.

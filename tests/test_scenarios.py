@@ -19,7 +19,6 @@ from repro.bittorrent.scenarios import (
     resolve_scenario,
 )
 from repro.bittorrent.swarm import SwarmConfig, SwarmSimulator
-from repro.sim.random_source import RandomSource
 
 
 class TestScheduleValidation:

@@ -2,10 +2,9 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.sim.experiment import Experiment, ParameterGrid, group_results, run_experiment
+from repro.sim.experiment import ParameterGrid, group_results, run_experiment
 from repro.sim.random_source import RandomSource
 from repro.sim.recorder import MetricRecorder, TimeSeries
 from repro.sim.results import ResultTable, aggregate

@@ -20,7 +20,6 @@ from repro.bittorrent.analysis import (
     download_time_cdf,
     observed_download_time_cdf,
     observed_stratification_index,
-    telemetry_report,
     threshold_sensitivity,
     visit_count_distribution,
 )
@@ -28,8 +27,6 @@ from repro.bittorrent.swarm import SwarmConfig, SwarmSimulator
 from repro.bittorrent.telemetry import (
     ObservedSwarm,
     ObserverConfig,
-    PollSample,
-    ScrapeSample,
     SwarmObserver,
     resolve_observer,
 )
