@@ -10,6 +10,10 @@
 * :mod:`repro.bittorrent.scenarios` -- dynamic-membership scenarios
   (Poisson arrivals, flash crowds, departure policies) driving both swarm
   engines bit-identically.
+* :mod:`repro.bittorrent.behaviors` -- adversarial / heterogeneous client
+  behavior profiles (free-riders, BitThief-style never-uploaders, super
+  seeds, partial seeds, NAT-limited and locality-biased peers) assigned
+  per peer from a dedicated random stream, bit-identical on both engines.
 * :mod:`repro.bittorrent.bandwidth` -- the Saroiu-style upstream bandwidth
   distribution (Figure 10).
 * :mod:`repro.bittorrent.efficiency` -- expected download/upload share
@@ -24,6 +28,15 @@ from repro.bittorrent.bandwidth import (
     BandwidthClass,
     BandwidthDistribution,
     saroiu_like_distribution,
+)
+from repro.bittorrent.behaviors import (
+    BEHAVIOR_MIX_NAMES,
+    BEHAVIOR_NAMES,
+    BehaviorMix,
+    BehaviorProfile,
+    make_behavior_mix,
+    profile_for,
+    resolve_behavior_mix,
 )
 from repro.bittorrent.choking import ChokingPolicy, SeedChoker, TitForTatChoker
 from repro.bittorrent.efficiency import (
@@ -68,6 +81,13 @@ __all__ = [
     "BandwidthClass",
     "BandwidthDistribution",
     "saroiu_like_distribution",
+    "BEHAVIOR_MIX_NAMES",
+    "BEHAVIOR_NAMES",
+    "BehaviorMix",
+    "BehaviorProfile",
+    "make_behavior_mix",
+    "profile_for",
+    "resolve_behavior_mix",
     "ChokingPolicy",
     "SeedChoker",
     "TitForTatChoker",

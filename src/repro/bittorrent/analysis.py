@@ -26,6 +26,9 @@ import numpy as np
 from repro.bittorrent.telemetry import ObservedSwarm
 
 __all__ = [
+    "behavior_download_cdfs",
+    "behavior_report",
+    "behavior_stratification",
     "download_time_cdf",
     "observed_download_time_cdf",
     "observed_stratification_index",
@@ -62,6 +65,80 @@ def download_time_cdf(result) -> Dict[str, np.ndarray]:
         if peer.completed_round is not None
     ]
     return _empirical_cdf(durations)
+
+
+def behavior_download_cdfs(result) -> Dict[str, Dict[str, np.ndarray]]:
+    """Ground-truth download-time CDFs, one per behavior class present.
+
+    Same duration convention as :func:`download_time_cdf`, restricted to
+    the leechers assigned each behavior.  Classes whose members never
+    completed (e.g. ``never_upload`` in a seedless swarm, ``partial_seed``
+    always) still appear, with empty arrays -- the *absence* of a CDF is
+    the finding for those classes.
+    """
+    by_class: Dict[str, List[float]] = {}
+    for peer in result.leechers():
+        durations = by_class.setdefault(peer.behavior, [])
+        if peer.completed_round is not None:
+            durations.append(
+                float(peer.completed_round - max(1, peer.arrival_round) + 1)
+            )
+    return {name: _empirical_cdf(by_class[name]) for name in sorted(by_class)}
+
+
+def behavior_report(result) -> Dict[str, Dict[str, float]]:
+    """Per-behavior-class summary of one run (ground truth).
+
+    For every behavior present among the leechers: population count,
+    completions, completion fraction, mean download rate (kbps) and mean
+    share ratio (downloaded / uploaded).  This is the table the
+    ``behavior-sweep`` experiment aggregates across free-rider fractions.
+    """
+    rates = result.download_rates()
+    ratios = result.share_ratios()
+    by_class: Dict[str, List] = {}
+    for peer in result.leechers():
+        by_class.setdefault(peer.behavior, []).append(peer)
+    report: Dict[str, Dict[str, float]] = {}
+    for name in sorted(by_class):
+        members = by_class[name]
+        completed = sum(1 for p in members if p.completed_round is not None)
+        report[name] = {
+            "peers": float(len(members)),
+            "completed": float(completed),
+            "completion_fraction": completed / len(members),
+            "mean_download_rate_kbps": float(
+                np.mean([rates[p.peer_id] for p in members])
+            ),
+            "mean_share_ratio": float(
+                np.mean([ratios[p.peer_id] for p in members])
+            ),
+        }
+    return report
+
+
+def behavior_stratification(result) -> Dict[str, float]:
+    """Stratification index overall vs restricted to obedient peers.
+
+    ``overall`` ranks every leecher; ``standard_only`` recomputes the
+    index over the ``standard``-behavior leechers alone, which separates
+    stratification *caused by* heterogeneous capacities (the paper's
+    mechanism) from rank noise injected by adversarial classes that trade
+    little or nothing.  Either entry is 0.0 when fewer than three peers
+    qualify.
+    """
+    from repro.bittorrent.swarm import stratification_index
+
+    def safe(behaviors: Optional[Sequence[str]]) -> float:
+        try:
+            return stratification_index(result, behaviors=behaviors)
+        except ValueError:
+            return 0.0
+
+    return {
+        "overall": safe(None),
+        "standard_only": safe(("standard",)),
+    }
 
 
 def observed_download_time_cdf(

@@ -44,6 +44,14 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from repro.bittorrent.bandwidth import BandwidthDistribution, saroiu_like_distribution
+from repro.bittorrent.behaviors import (
+    BehaviorMix,
+    BehaviorProfile,
+    bootstrap_piece_count,
+    filter_contacts,
+    profile_for,
+    resolve_behavior_mix,
+)
 from repro.bittorrent.fast.bitfields import BitfieldMatrix
 from repro.bittorrent.fast.choking import FastChokerState, batched_regular_slots
 from repro.bittorrent.fast.tracker import (
@@ -96,6 +104,21 @@ class FastSwarmSimulator:
         self.scenario = resolve_scenario(scenario)
         self.observer = resolve_observer(observer)
         self.source = RandomSource(seed)
+        # The behavior gates, derived exactly like the reference engine's
+        # (pure functions of config + scenario), so both engines branch
+        # identically and consume the "behavior" stream draw for draw.
+        self.behaviors = resolve_behavior_mix(config.behaviors)
+        self._arrival_mix: BehaviorMix = (
+            self.scenario.behaviors
+            if self.scenario.behaviors is not None
+            else self.behaviors
+        )
+        self._behaviors_active = not (
+            self.behaviors.is_trivial and self._arrival_mix.is_trivial
+        )
+        self._locality_on = (
+            self.behaviors.uses_locality or self._arrival_mix.uses_locality
+        )
         self.n_total = config.leechers + config.seeds
         self._build_population(bandwidths, distribution)
 
@@ -123,10 +146,38 @@ class FastSwarmSimulator:
         self.is_seed[config.leechers:] = True
         self.alive = np.ones(n, dtype=bool)
 
+        # Behavior assignment replays the reference order: one leecher
+        # assignment batch, then (iff some behavior is locality-biased)
+        # one group batch for the whole population -- both before any
+        # bootstrap draw.
+        mix = self.behaviors
+        behavior_rng = self.source.stream(streams.BEHAVIOR)
+        leecher_behaviors = mix.assign(config.leechers, behavior_rng)
+        groups = (
+            mix.assign_groups(n, behavior_rng)
+            if self._locality_on
+            else [-1] * n
+        )
+        self.behavior_names: List[str] = (
+            leecher_behaviors + [mix.seed_behavior] * config.seeds
+        )
+        self.locality_groups: List[int] = groups
+        self.profiles: List[BehaviorProfile] = [
+            profile_for(name) for name in self.behavior_names
+        ]
+        self.upload_factor: List[float] = [p.upload_factor for p in self.profiles]
+        self.reveal_limit: List[Optional[int]] = [p.reveal_limit for p in self.profiles]
+        self.can_download = np.fromiter(
+            (p.downloads for p in self.profiles), dtype=bool, count=n
+        )
+
         self.bitfields = BitfieldMatrix(n, config.piece_count)
         bootstrap_rng = self.source.stream(streams.BOOTSTRAP)
-        start_pieces = int(round(config.start_completion * config.piece_count))
+        start_default = int(round(config.start_completion * config.piece_count))
         for i in range(config.leechers):
+            start_pieces = bootstrap_piece_count(
+                self.profiles[i], start_default, config.piece_count
+            )
             if start_pieces:
                 self.bitfields.fill(
                     i,
@@ -142,7 +193,10 @@ class FastSwarmSimulator:
         # The neighbor sets are the *live* adjacency (mutated under churn);
         # the CSR arrays are its frozen snapshot for the vectorized passes.
         self.indptr, self.adj, self.neighbor_sets = build_neighbor_csr(
-            n, self.tracker, announce_rng
+            n,
+            self.tracker,
+            announce_rng,
+            contact_filter=self._contact_filter if self._behaviors_active else None,
         )
         self._freeze_edges()
         # Initially-complete peers announce as seeders (scrape counts them,
@@ -173,6 +227,25 @@ class FastSwarmSimulator:
         self._depart_due: Dict[int, List[int]] = {}
         self._total_arrived = 0
 
+    def _contact_filter(self, peer_id: int, contacts: np.ndarray) -> List[int]:
+        """The behavior layer's locality / NAT edge rules for one announce.
+
+        Mirrors ``SwarmSimulator._filter_contacts`` via the shared
+        :func:`~repro.bittorrent.behaviors.filter_contacts`, consuming the
+        same ``"behavior"`` stream draws (one uniform batch per biased
+        announcer) in the same order.
+        """
+        i = peer_id - 1
+        contact_list = [int(contact) for contact in contacts]
+        return filter_contacts(
+            self.profiles[i],
+            self.locality_groups[i],
+            contact_list,
+            [self.locality_groups[contact - 1] for contact in contact_list],
+            [self.profiles[contact - 1].nat_limited for contact in contact_list],
+            self.source.stream(streams.BEHAVIOR),
+        )
+
     def _freeze_edges(self) -> None:
         """Derive the per-edge arrays from the current (indptr, adj) CSR."""
         n = self.n_total
@@ -184,7 +257,12 @@ class FastSwarmSimulator:
         # and id-sorted inside, so one searchsorted resolves any edge slot.
         self._key_mult = n
         self.edge_key = self.edge_peer * n + self.adj
-        self.adj_nonseed = ~self.is_seed[self.adj]
+        # An unchoke target must be a non-seed that actually downloads
+        # (partial seeds never request); frozen with the CSR since the
+        # download flag only changes when membership does.
+        self.adj_target = ~self.is_seed[self.adj]
+        if self._behaviors_active:
+            self.adj_target &= self.can_download[self.adj]
         self.recv_edge = np.zeros(self.adj.shape[0], dtype=np.float64)
 
     def _rebuild_csr(self) -> None:
@@ -242,6 +320,17 @@ class FastSwarmSimulator:
         """Join ``len(capacities)`` fresh leechers (grows every array)."""
         config = self.config
         count = len(capacities)
+        # Behavior draws come right after the capacity batch, mirroring
+        # the reference's _process_membership order; growing the arrays
+        # below consumes nothing, so its placement is free.
+        arrival_mix = self._arrival_mix
+        behavior_rng = self.source.stream(streams.BEHAVIOR)
+        arrival_behaviors = arrival_mix.assign(count, behavior_rng)
+        arrival_groups = (
+            arrival_mix.assign_groups(count, behavior_rng)
+            if self._locality_on
+            else [-1] * count
+        )
         base = self.bitfields.add_peers(count)
         self.alive = np.concatenate([self.alive, np.ones(count, dtype=bool)])
         self.is_seed = np.concatenate([self.is_seed, np.zeros(count, dtype=bool)])
@@ -251,13 +340,30 @@ class FastSwarmSimulator:
         self.completed_round.extend([None] * count)
         self.arrival_round.extend([round_index] * count)
         self.neighbor_sets.extend(set() for _ in range(count))
+        new_profiles = [profile_for(name) for name in arrival_behaviors]
+        self.behavior_names.extend(arrival_behaviors)
+        self.locality_groups.extend(arrival_groups)
+        self.profiles.extend(new_profiles)
+        self.upload_factor.extend(p.upload_factor for p in new_profiles)
+        self.reveal_limit.extend(p.reveal_limit for p in new_profiles)
+        self.can_download = np.concatenate(
+            [
+                self.can_download,
+                np.fromiter(
+                    (p.downloads for p in new_profiles), dtype=bool, count=count
+                ),
+            ]
+        )
         self.n_total = base + count
 
-        start_pieces = self.scenario.arrival_pieces(config.piece_count)
+        start_default = self.scenario.arrival_pieces(config.piece_count)
         bootstrap_rng = self.source.stream(streams.BOOTSTRAP)
         announce_rng = self.source.stream(streams.TRACKER)
         for k in range(count):
             i = base + k
+            start_pieces = bootstrap_piece_count(
+                new_profiles[k], start_default, config.piece_count
+            )
             if start_pieces:
                 self.bitfields.fill(
                     i,
@@ -266,7 +372,13 @@ class FastSwarmSimulator:
                     ),
                 )
                 self.counts += self.bitfields.unpack_row(i)
-            for contact in self.tracker.announce(i + 1, announce_rng):
+            announced = self.tracker.announce(i + 1, announce_rng)
+            contacts = (
+                self._contact_filter(i + 1, announced)
+                if self._behaviors_active
+                else announced
+            )
+            for contact in contacts:
                 self.neighbor_sets[i].add(int(contact) - 1)
                 self.neighbor_sets[int(contact) - 1].add(i)
 
@@ -288,7 +400,12 @@ class FastSwarmSimulator:
             self.bitfields.have_count[: config.leechers] == config.piece_count
         )
         completed = int(leecher_complete.sum())
-        incomplete = config.leechers - completed
+        # Non-downloading leechers (partial seeds) never complete and do
+        # not block the early exit -- same filter as the reference's
+        # all(...) predicate.
+        incomplete = int(
+            (~leecher_complete & self.can_download[: config.leechers]).sum()
+        )
 
         rounds_run = config.rounds
         for round_index in range(1, config.rounds + 1):
@@ -321,8 +438,12 @@ class FastSwarmSimulator:
         )
 
     def _count_incomplete(self) -> int:
-        """Active leechers still missing pieces (recounted after churn)."""
-        live = self.alive[: self.n_total] & ~self.is_seed[: self.n_total]
+        """Active downloading leechers still missing pieces (post-churn)."""
+        live = (
+            self.alive[: self.n_total]
+            & ~self.is_seed[: self.n_total]
+            & self.can_download[: self.n_total]
+        )
         return int(
             (self.bitfields.have_count[: self.n_total][live] < self.config.piece_count).sum()
         )
@@ -337,7 +458,7 @@ class FastSwarmSimulator:
         """
         piece_count = self.config.piece_count
         have = self.bitfields.have_count
-        candidate = self.adj_nonseed & (have[self.adj] < piece_count)
+        candidate = self.adj_target & (have[self.adj] < piece_count)
         interested = np.zeros(self.adj.shape[0], dtype=bool)
         src_complete = have[self.edge_peer] == piece_count
         interested[candidate & src_complete] = True
@@ -379,7 +500,14 @@ class FastSwarmSimulator:
         owner_at = owners[starts].tolist()
         is_seed = self.is_seed
         uploads = self.uploads
+        profiles = self.profiles
+        upload_factor = self.upload_factor
         for i, lo, hi in zip(owner_at, starts, ends):
+            if not profiles[i].unchokes:
+                # Never-upload owners are skipped before any choker call,
+                # exactly where the reference skips them, so the shared
+                # stream stays aligned.
+                continue
             interested_ids = partner_ids[lo:hi]
             if is_seed[i]:
                 regular: List[int] = []
@@ -394,6 +522,11 @@ class FastSwarmSimulator:
             for target in regular:
                 regular_pairs.add((i + 1, target))
             budget_kbit = uploads[i] * round_seconds
+            factor = upload_factor[i]
+            if factor != 1.0:
+                # Guarded multiply: standard peers keep the exact float
+                # sequence of the behavior-free code path.
+                budget_kbit *= factor
             share = budget_kbit / len(unchoked)
             for target in unchoked:
                 transfers.append((i, target - 1, share))
@@ -418,6 +551,7 @@ class FastSwarmSimulator:
         wanted_idx: np.ndarray,
         credit: float,
         rng: np.random.Generator,
+        reveal_limit: Optional[int] = None,
     ) -> Tuple[float, int]:
         """Convert ``credit`` kilobits into pieces; returns (credit, gained).
 
@@ -445,10 +579,16 @@ class FastSwarmSimulator:
         # subtract-while-credit-covers-a-piece -- because repeated float
         # subtraction is not generally the same as one floor division.
         # ``remaining`` is the credit after those subtractions, i.e. the
-        # exact float the reference loop would leave behind.
+        # exact float the reference loop would leave behind.  A sender's
+        # reveal_limit (super-seeding) caps the subtraction count too, so
+        # the leftover credit matches the reference's capped loop.
         remaining = credit
         max_picks = 0
-        while remaining >= piece_size and max_picks < total:
+        while (
+            remaining >= piece_size
+            and max_picks < total
+            and (reveal_limit is None or max_picks < reveal_limit)
+        ):
             remaining -= piece_size
             max_picks += 1
         if max_picks == 0:
@@ -562,7 +702,7 @@ class FastSwarmSimulator:
                     wanted_bytes = bitfields.wanted_bytes(sender, receiver)
                 wanted_idx = bitfields.indices(wanted_bytes)
                 credit, gained = self._acquire_pieces(
-                    receiver, wanted_idx, credit, rng
+                    receiver, wanted_idx, credit, rng, self.reveal_limit[sender]
                 )
                 if (
                     gained
@@ -637,6 +777,8 @@ class FastSwarmSimulator:
             received_last_round=dict(self._last_received.get(pid, {})),
             completed_round=self.completed_round[i],
             arrival_round=self.arrival_round[i],
+            behavior=self.behavior_names[i],
+            locality_group=self.locality_groups[i],
         )
 
     def materialize_peers(self) -> Dict[int, "SwarmPeer"]:

@@ -24,7 +24,7 @@ tests cover both the construction path and churning scenarios.
 
 from __future__ import annotations
 
-from typing import List, Optional, Set, Tuple
+from typing import Callable, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -132,7 +132,10 @@ class FastTracker:
 
 
 def build_neighbor_csr(
-    n_peers: int, tracker: FastTracker, rng: np.random.Generator
+    n_peers: int,
+    tracker: FastTracker,
+    rng: np.random.Generator,
+    contact_filter: Optional[Callable[[int, np.ndarray], List[int]]] = None,
 ) -> Tuple[np.ndarray, np.ndarray, List[set]]:
     """Announce peers ``1..n_peers`` and build the symmetric contact CSR.
 
@@ -143,10 +146,20 @@ def build_neighbor_csr(
     live adjacency the dynamic-membership engine keeps mutating; the CSR
     arrays are its frozen snapshot (see ``FastSwarmSimulator._rebuild_csr``
     for the re-snapshot under churn).
+
+    ``contact_filter`` (the behavior layer's locality / NAT edge rules)
+    sees each announce result -- ``(peer_id, contacts)`` in tracker draw
+    order -- and returns the contact ids actually connected to; the
+    announce draw itself is untouched, so a filter cannot perturb the
+    tracker stream.
     """
     neighbor_sets: List[set] = [set() for _ in range(n_peers)]
     for peer_id in range(1, n_peers + 1):
-        for contact in tracker.announce(peer_id, rng):
+        announced = tracker.announce(peer_id, rng)
+        contacts = (
+            announced if contact_filter is None else contact_filter(peer_id, announced)
+        )
+        for contact in contacts:
             neighbor_sets[peer_id - 1].add(int(contact) - 1)
             neighbor_sets[int(contact) - 1].add(peer_id - 1)
     indptr, adj = neighbor_sets_to_csr(neighbor_sets)

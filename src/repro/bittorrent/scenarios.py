@@ -37,6 +37,7 @@ from typing import Optional, Union
 import numpy as np
 
 from repro.bittorrent.bandwidth import BandwidthDistribution, saroiu_like_distribution
+from repro.bittorrent.behaviors import BehaviorMix, resolve_behavior_mix
 
 __all__ = [
     "ARRIVAL_PROCESSES",
@@ -86,6 +87,11 @@ class ScenarioSchedule:
     capacity:
         Upload-capacity distribution sampled per arrival (the Saroiu-style
         mixture when omitted).
+    behaviors:
+        Behavior mix of the *arriving* peers (a
+        :class:`~repro.bittorrent.behaviors.BehaviorMix`, a preset name /
+        spec string, or ``None`` to inherit the swarm's configured mix) --
+        e.g. a flash crowd of free-riders hitting an obedient swarm.
     """
 
     arrivals: str = "static"
@@ -98,8 +104,13 @@ class ScenarioSchedule:
     linger_rounds: int = 0
     arrival_completion: float = 0.0
     capacity: Optional[BandwidthDistribution] = None
+    behaviors: "BehaviorMix | str | None" = None
 
     def __post_init__(self) -> None:
+        if self.behaviors is not None:
+            object.__setattr__(
+                self, "behaviors", resolve_behavior_mix(self.behaviors)
+            )
         if self.arrivals not in ARRIVAL_PROCESSES:
             raise ValueError(
                 f"unknown arrival process '{self.arrivals}' "

@@ -42,6 +42,14 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from repro.bittorrent.bandwidth import BandwidthDistribution, saroiu_like_distribution
+from repro.bittorrent.behaviors import (
+    BehaviorMix,
+    BehaviorProfile,
+    bootstrap_piece_count,
+    filter_contacts,
+    profile_for,
+    resolve_behavior_mix,
+)
 from repro.bittorrent.choking import SeedChoker, TitForTatChoker
 from repro.bittorrent.pieces import Bitfield, Torrent
 from repro.bittorrent.piece_selection import PieceSelector, make_selector, piece_availability
@@ -103,6 +111,11 @@ class SwarmConfig:
     optimistic_period:
         Rechoke rounds an optimistic unchoke is kept before rotation
         (BitTorrent uses 3 x 10 s, so the default is 3 rounds).
+    behaviors:
+        Client-behavior mix of the population (a
+        :class:`~repro.bittorrent.behaviors.BehaviorMix`, a preset name /
+        spec string, or ``None`` for the paper's homogeneous obedient
+        clients).  Behaviors are bit-identical across engines.
     """
 
     leechers: int = 60
@@ -120,6 +133,7 @@ class SwarmConfig:
     seed_upload_kbps: float = 5000.0
     warmup_rounds: int = 5
     optimistic_period: int = 3
+    behaviors: "BehaviorMix | str | None" = None
     piece_size_kb: InitVar[Optional[float]] = None  # repro: allow[RPD005] -- deprecation shim for the *_kb -> *_kbit rename
 
     def __post_init__(self, piece_size_kb: Optional[float]) -> None:  # repro: allow[RPD005] -- deprecation shim for the *_kb -> *_kbit rename
@@ -148,6 +162,8 @@ class SwarmConfig:
             raise ValueError("warmup_rounds cannot be negative")
         if self.optimistic_period <= 0:
             raise ValueError("optimistic_period must be positive")
+        if self.behaviors is not None:
+            self.behaviors = resolve_behavior_mix(self.behaviors)
 
     def __getattr__(self, name: str):
         if name == "piece_size_kb":
@@ -188,6 +204,11 @@ class SwarmPeer:
     for scenario arrivals; ``departed_round`` is set when a scenario
     departure policy removes the peer from the swarm (its statistics are
     frozen at that point but still reported in the result).
+
+    ``behavior`` names the peer's assigned
+    :class:`~repro.bittorrent.behaviors.BehaviorProfile` and
+    ``locality_group`` its locality group (-1 when the mix has no
+    locality-biased behavior and groups were never drawn).
     """
 
     peer_id: int
@@ -202,6 +223,8 @@ class SwarmPeer:
     completed_round: Optional[int] = None
     arrival_round: int = 0
     departed_round: Optional[int] = None
+    behavior: str = "standard"
+    locality_group: int = -1
 
     downloaded_kb = _deprecated_kb_property("downloaded_kbit")  # repro: allow[RPD005] -- deprecation shim for the *_kb -> *_kbit rename
     uploaded_kb = _deprecated_kb_property("uploaded_kbit")  # repro: allow[RPD005] -- deprecation shim for the *_kb -> *_kbit rename
@@ -326,6 +349,24 @@ class SwarmSimulator:
         self.observer = resolve_observer(observer)
         self.source = RandomSource(seed)
         self.torrent = Torrent(config.piece_count, config.piece_size_kbit)
+        # The behavior layer: the swarm's mix, the (possibly overriding)
+        # arrival mix, and two flags that gate every behavior branch.  All
+        # three are pure functions of config + scenario, so the fast
+        # engine derives the identical gates and the shared streams stay
+        # aligned.  A trivial mix keeps this run draw-for-draw identical
+        # to a behavior-free one.
+        self.behaviors = resolve_behavior_mix(config.behaviors)
+        self._arrival_mix: BehaviorMix = (
+            self.scenario.behaviors
+            if self.scenario.behaviors is not None
+            else self.behaviors
+        )
+        self._behaviors_active = not (
+            self.behaviors.is_trivial and self._arrival_mix.is_trivial
+        )
+        self._locality_on = (
+            self.behaviors.uses_locality or self._arrival_mix.uses_locality
+        )
         if engine == "fast":
             from repro.bittorrent.fast.swarm import FastSwarmSimulator
 
@@ -344,6 +385,7 @@ class SwarmSimulator:
         self._chokers: Dict[int, TitForTatChoker | SeedChoker] = {}
         self.peers: Dict[int, SwarmPeer] = {}
         self._departed: Dict[int, SwarmPeer] = {}
+        self._profiles: Dict[int, BehaviorProfile] = {}
         self._next_pid = 0
         self._total_arrived = 0
         self._build_population(bandwidths, distribution)
@@ -378,14 +420,32 @@ class SwarmSimulator:
             dist = distribution if distribution is not None else saroiu_like_distribution()
             uploads = dist.sample(config.leechers, rng)
 
+        # Pinned behavior draws: one assignment batch for the leechers,
+        # then (only when some behavior is locality-biased) one group
+        # batch for the whole initial population, seeds included -- both
+        # before any bootstrap draw.  The fast engine replays this order.
+        behavior_rng = self.source.stream(streams.BEHAVIOR)
+        mix = self.behaviors
+        leecher_behaviors = mix.assign(config.leechers, behavior_rng)
+        n_initial = config.leechers + config.seeds
+        groups = (
+            mix.assign_groups(n_initial, behavior_rng)
+            if self._locality_on
+            else [-1] * n_initial
+        )
+
         bootstrap_rng = self.source.stream(streams.BOOTSTRAP)
         announce_rng = self.source.stream(streams.TRACKER)
+        start_default = int(round(config.start_completion * config.piece_count))
         peer_id = 0
         for index in range(config.leechers):
             peer_id += 1
             self._next_pid = peer_id
+            profile = profile_for(leecher_behaviors[index])
             bitfield = Bitfield.empty(config.piece_count)
-            start_pieces = int(round(config.start_completion * config.piece_count))
+            start_pieces = bootstrap_piece_count(
+                profile, start_default, config.piece_count
+            )
             if start_pieces:
                 for piece in bootstrap_rng.choice(
                     config.piece_count, size=start_pieces, replace=False
@@ -396,14 +456,18 @@ class SwarmSimulator:
                 upload_kbps=float(uploads[index]),
                 is_seed=False,
                 bitfield=bitfield,
+                behavior=profile.name,
+                locality_group=groups[index],
             )
             self.peers[peer_id] = peer
+            self._profiles[peer_id] = profile
             self._chokers[peer_id] = TitForTatChoker(
                 regular_slots=config.regular_slots,
                 optimistic_slots=config.optimistic_slots,
                 optimistic_period=config.optimistic_period,
             )
-        for _ in range(config.seeds):
+        seed_profile = profile_for(mix.seed_behavior)
+        for k in range(config.seeds):
             peer_id += 1
             self._next_pid = peer_id
             peer = SwarmPeer(
@@ -411,12 +475,17 @@ class SwarmSimulator:
                 upload_kbps=config.seed_upload_kbps,
                 is_seed=True,
                 bitfield=Bitfield.complete(config.piece_count),
+                behavior=seed_profile.name,
+                locality_group=groups[config.leechers + k],
             )
             self.peers[peer_id] = peer
+            self._profiles[peer_id] = seed_profile
             self._chokers[peer_id] = SeedChoker(slots=config.seed_slots)
 
         for pid in self.peers:
             contacts = self.tracker.announce(pid, announce_rng)
+            if self._behaviors_active:
+                contacts = self._filter_contacts(pid, contacts, behavior_rng)
             self.peers[pid].neighbors.update(contacts)
             for other in contacts:
                 self.peers[other].neighbors.add(pid)
@@ -425,6 +494,23 @@ class SwarmSimulator:
         for pid, peer in self.peers.items():
             if peer.bitfield.is_complete():
                 self.tracker.register_complete(pid)
+
+    def _filter_contacts(
+        self,
+        pid: int,
+        contacts: Sequence[int],
+        behavior_rng: np.random.Generator,
+    ) -> List[int]:
+        """Apply ``pid``'s locality / NAT edge behaviors to its contacts."""
+        contact_list = [int(contact) for contact in contacts]
+        return filter_contacts(
+            self._profiles[pid],
+            self.peers[pid].locality_group,
+            contact_list,
+            [self.peers[contact].locality_group for contact in contact_list],
+            [self._profiles[contact].nat_limited for contact in contact_list],
+            behavior_rng,
+        )
 
     # -- membership dynamics -------------------------------------------------------
 
@@ -452,8 +538,21 @@ class SwarmSimulator:
         )
         if count > 0:
             capacities = scenario.sample_capacities(count, self.source.stream(streams.BANDWIDTH))
+            behavior_rng = self.source.stream(streams.BEHAVIOR)
+            arrival_mix = self._arrival_mix
+            arrival_behaviors = arrival_mix.assign(count, behavior_rng)
+            arrival_groups = (
+                arrival_mix.assign_groups(count, behavior_rng)
+                if self._locality_on
+                else [-1] * count
+            )
             for k in range(count):
-                self._arrive(float(capacities[k]), round_index)
+                self._arrive(
+                    float(capacities[k]),
+                    round_index,
+                    arrival_behaviors[k],
+                    arrival_groups[k],
+                )
             self._total_arrived += count
 
     def _depart(self, pid: int, round_index: int) -> None:
@@ -467,13 +566,22 @@ class SwarmSimulator:
         del self._chokers[pid]
         self._departed[pid] = peer
 
-    def _arrive(self, upload_kbps: float, round_index: int) -> None:
+    def _arrive(
+        self,
+        upload_kbps: float,
+        round_index: int,
+        behavior: str = "standard",
+        locality_group: int = -1,
+    ) -> None:
         """Join one fresh leecher: bootstrap pieces, then a tracker announce."""
         config = self.config
         self._next_pid += 1
         pid = self._next_pid
+        profile = profile_for(behavior)
         bitfield = Bitfield.empty(config.piece_count)
-        start_pieces = self.scenario.arrival_pieces(config.piece_count)
+        start_pieces = bootstrap_piece_count(
+            profile, self.scenario.arrival_pieces(config.piece_count), config.piece_count
+        )
         if start_pieces:
             for piece in self.source.stream(streams.BOOTSTRAP).choice(
                 config.piece_count, size=start_pieces, replace=False
@@ -485,14 +593,21 @@ class SwarmSimulator:
             is_seed=False,
             bitfield=bitfield,
             arrival_round=round_index,
+            behavior=profile.name,
+            locality_group=locality_group,
         )
         self.peers[pid] = peer
+        self._profiles[pid] = profile
         self._chokers[pid] = TitForTatChoker(
             regular_slots=config.regular_slots,
             optimistic_slots=config.optimistic_slots,
             optimistic_period=config.optimistic_period,
         )
         contacts = self.tracker.announce(pid, self.source.stream(streams.TRACKER))
+        if self._behaviors_active:
+            contacts = self._filter_contacts(
+                pid, contacts, self.source.stream(streams.BEHAVIOR)
+            )
         peer.neighbors.update(contacts)
         for other in contacts:
             self.peers[other].neighbors.add(pid)
@@ -522,7 +637,9 @@ class SwarmSimulator:
             if observer is not None:
                 observer.observe_round(round_index, regular_pairs)
             if all(
-                p.bitfield.is_complete() for p in self.peers.values() if not p.is_seed
+                p.bitfield.is_complete()
+                for p in self.peers.values()
+                if not p.is_seed and self._profiles[p.peer_id].downloads
             ) and not scenario.more_arrivals_after(round_index, self._total_arrived):
                 rounds_run = round_index
                 break
@@ -552,10 +669,17 @@ class SwarmSimulator:
         transfers: Dict[Tuple[int, int], float] = {}
         regular_pairs: Set[Tuple[int, int]] = set()
         for peer in self.peers.values():
+            profile = self._profiles[peer.peer_id]
+            if not profile.unchokes:
+                # BitThief never reciprocates: skipped before the choker,
+                # so no stream draw is consumed (the fast engine skips the
+                # same owners in the same ascending order).
+                continue
             interested = [
                 other
                 for other in sorted(peer.neighbors)
                 if not self.peers[other].is_seed
+                and self._profiles[other].downloads
                 and self.peers[other].bitfield.is_interested_in(peer.bitfield)
             ]
             if not interested:
@@ -569,6 +693,10 @@ class SwarmSimulator:
             for target in decision.regular:
                 regular_pairs.add((peer.peer_id, target))
             budget_kbit = peer.upload_kbps * config.round_seconds
+            if profile.upload_factor != 1.0:
+                # The != 1.0 guard keeps the float sequence of standard
+                # peers byte-identical to the behavior-free code path.
+                budget_kbit *= profile.upload_factor
             share = budget_kbit / len(unchoked)
             for target in unchoked:
                 transfers[(peer.peer_id, target)] = share
@@ -621,8 +749,14 @@ class SwarmSimulator:
             collaboration[key] = collaboration.get(key, 0.0) + volume_kbit
 
             # Convert the received volume into whole pieces, rarest first.
+            # A super-seeding sender reveals at most reveal_limit pieces
+            # per transfer; the unconverted credit carries over as usual.
+            reveal_limit = self._profiles[sender_id].reveal_limit
+            taken = 0
             credit = receiver.partial_kbit.get(sender_id, 0.0) + volume_kbit
             while credit >= self.config.piece_size_kbit:
+                if reveal_limit is not None and taken >= reveal_limit:
+                    break
                 wanted = receiver.bitfield.interesting_pieces(sender.bitfield)
                 if not wanted:
                     break
@@ -632,6 +766,7 @@ class SwarmSimulator:
                 receiver.bitfield.add(piece)
                 availability[piece] += 1
                 credit -= self.config.piece_size_kbit
+                taken += 1
                 if receiver.bitfield.is_complete() and receiver.completed_round is None:
                     receiver.completed_round = round_index
                     newly_completed += 1
@@ -643,7 +778,12 @@ class SwarmSimulator:
         return newly_completed
 
 
-def stratification_index(result: SwarmResult, *, use_tft_pairs: bool = True) -> float:
+def stratification_index(
+    result: SwarmResult,
+    *,
+    use_tft_pairs: bool = True,
+    behaviors: Optional[Sequence[str]] = None,
+) -> float:
     """Correlation between a leecher's bandwidth rank and its partners' ranks.
 
     For every leecher we compute the weighted average bandwidth rank of the
@@ -661,8 +801,16 @@ def stratification_index(result: SwarmResult, *, use_tft_pairs: bool = True) -> 
         the empirical counterpart of the matching model.  When false, every
         transferred kilobit counts, which also includes optimistic-unchoke
         altruism and therefore underestimates stratification.
+    behaviors:
+        When given, restrict the index to leechers whose
+        :attr:`~SwarmPeer.behavior` is in this set -- e.g.
+        ``behaviors=["standard"]`` asks whether the *obedient* peers still
+        stratify among themselves despite the deviants around them.
     """
     leechers = result.leechers()
+    if behaviors is not None:
+        allowed = frozenset(behaviors)
+        leechers = [peer for peer in leechers if peer.behavior in allowed]
     if len(leechers) < 3:
         raise ValueError("need at least three leechers to measure stratification")
     order = sorted(leechers, key=lambda peer: -peer.upload_kbps)

@@ -17,6 +17,11 @@ from typing import Callable, Dict, Optional, Sequence
 import numpy as np
 
 from repro import experiments
+from repro.bittorrent.behaviors import (
+    BEHAVIOR_MIX_NAMES,
+    BEHAVIOR_NAMES,
+    make_behavior_mix,
+)
 from repro.bittorrent.scenarios import SCENARIO_NAMES
 from repro.core.exceptions import ENGINES
 from repro.sim.parallel import ResultCache, source_fingerprint
@@ -79,6 +84,7 @@ _EXPERIMENTS: Dict[str, Callable[[], object]] = {
     "swarm": experiments.swarm_stratification_experiment,
     "scenario-timeline": experiments.scenario_stratification_timeline,
     "telemetry": experiments.telemetry_experiment,
+    "behavior-sweep": experiments.behavior_sweep_experiment,
 }
 
 
@@ -121,6 +127,18 @@ def build_parser() -> argparse.ArgumentParser:
             "arrivals with leave-on-completion, 'flashcrowd' a joining "
             "burst, 'seed-linger' arrivals whose completers seed a while; "
             "scenarios are bit-identical across engines"
+        ),
+    )
+    parser.add_argument(
+        "--behavior-mix",
+        default=None,
+        metavar="MIX",
+        help=(
+            "client behavior mix for the swarm experiment: a preset "
+            f"({', '.join(BEHAVIOR_MIX_NAMES)}) or a spec like "
+            "'free_rider:0.2,never_upload:0.1,seeds:super_seed,groups:4' "
+            f"over the behaviors {', '.join(BEHAVIOR_NAMES)}; behaviors "
+            "stay bit-identical across engines"
         ),
     )
     parser.add_argument(
@@ -213,6 +231,11 @@ def _runner_kwargs(
         and getattr(args, "scrape_interval", None) is not None
     ):
         kwargs["scrape_interval"] = args.scrape_interval
+    if (
+        "behavior_mix" in parameters
+        and getattr(args, "behavior_mix", None) is not None
+    ):
+        kwargs["behavior_mix"] = args.behavior_mix
     if "workers" in parameters:
         kwargs["workers"] = 1 if getattr(args, "profile", False) else args.workers
     if "cache" in parameters and cache is not None:
@@ -242,6 +265,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("--workers must be >= 1")
     if args.scrape_interval is not None and args.scrape_interval < 1:
         parser.error("--scrape-interval must be >= 1")
+    if args.behavior_mix is not None:
+        try:
+            make_behavior_mix(args.behavior_mix)
+        except ValueError as exc:
+            parser.error(f"--behavior-mix: {exc}")
 
     if args.experiment == "list":
         for name in sorted(_EXPERIMENTS):

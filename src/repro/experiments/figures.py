@@ -469,8 +469,14 @@ def _swarm_point(
     scenario: "str | None",
     observe: bool = False,
     scrape_interval: int = 1,
+    behavior_mix: "str | None" = None,
 ) -> Dict[str, float]:
-    """One seeded swarm replication -- a self-contained sweep task."""
+    """One seeded swarm replication -- a self-contained sweep task.
+
+    ``behavior_mix`` stays a preset / spec *string* (not a
+    :class:`~repro.bittorrent.behaviors.BehaviorMix`) so the task kwargs
+    remain picklable primitives for the sweep cache key.
+    """
     rng = np.random.default_rng(seed)
     bandwidths = np.exp(rng.uniform(np.log(100.0), np.log(2000.0), leechers))
     config = SwarmConfig(
@@ -480,6 +486,7 @@ def _swarm_point(
         rounds=rounds,
         start_completion=0.25,
         seed_upload_kbps=2000.0,
+        behaviors=behavior_mix,
     )
     observer = (
         ObserverConfig(scrape_interval=scrape_interval, poll_interval=scrape_interval)
@@ -536,6 +543,7 @@ def swarm_stratification_experiment(
     scenario: "str | None" = None,
     observe: bool = False,
     scrape_interval: int = 1,
+    behavior_mix: "str | None" = None,
     repetitions: int = 1,
     workers: int = 1,
     cache: CacheLike = None,
@@ -563,6 +571,12 @@ def swarm_stratification_experiment(
     polling every ``scrape_interval`` rounds (results stay bit-identical)
     and adds the observed metrics -- reported / confirmed downloads,
     peers observed and the observed stratification index.
+
+    ``behavior_mix`` (a preset name or ``"name:frac,..."`` spec from
+    :func:`~repro.bittorrent.behaviors.make_behavior_mix`) assigns
+    adversarial / heterogeneous client behaviors to the population; the
+    dedicated ``behavior-sweep`` experiment varies the free-rider fraction
+    systematically.
     """
     if repetitions <= 0:
         raise ValueError("repetitions must be positive")
@@ -580,6 +594,7 @@ def swarm_stratification_experiment(
                 scenario=scenario,
                 observe=observe,
                 scrape_interval=scrape_interval,
+                behavior_mix=behavior_mix,
             ),
             label=f"swarm#rep{k}",
         )

@@ -41,6 +41,7 @@ __all__ = [
     "BOOTSTRAP",
     "TRACKER",
     "SCENARIO",
+    "BEHAVIOR",
     "ROUNDS",
     "POPULATION",
     "TELEMETRY_POLL",
@@ -102,6 +103,9 @@ BOOTSTRAP = "bootstrap"
 TRACKER = "tracker"
 #: Dynamic-membership scenarios: per-round arrival counts.
 SCENARIO = "scenario"
+#: Behavior assignment and behavior-driven edge filtering (free-riders,
+#: locality bias, NAT limitation -- see :mod:`repro.bittorrent.behaviors`).
+BEHAVIOR = "behavior"
 #: Per-round swarm randomness: optimistic-unchoke draws and tie-breaks.
 ROUNDS = "rounds"
 #: Slot-strategy population sampling (Section 6 slot-count arguments).
@@ -164,6 +168,13 @@ REGISTRY: Mapping[str, StreamSpec] = {
             "bittorrent",
             True,
             "per-round arrival counts of dynamic-membership scenarios",
+        ),
+        StreamSpec(
+            BEHAVIOR,
+            "bittorrent",
+            True,
+            "per-peer behavior assignment (one batch per population /"
+            " arrival batch) and locality-biased contact filtering",
         ),
         StreamSpec(
             ROUNDS,

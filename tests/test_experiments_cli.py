@@ -119,6 +119,59 @@ class TestFigureDrivers:
         with pytest.raises(ValueError):
             experiments.scenario_stratification_timeline(checkpoints=())
 
+    def test_swarm_experiment_with_behavior_mix(self):
+        metrics = experiments.swarm_stratification_experiment(
+            leechers=15, rounds=25, piece_count=60, seed=4,
+            behavior_mix="never_upload:0.2",
+        )
+        assert metrics["completed"] > 0
+        plain = experiments.swarm_stratification_experiment(
+            leechers=15, rounds=25, piece_count=60, seed=4
+        )
+        assert metrics != plain
+
+    def test_behavior_sweep_curves(self):
+        series = experiments.behavior_sweep_experiment(
+            leechers=14,
+            rounds=30,
+            piece_count=60,
+            seed=5,
+            fractions=(0.0, 0.4),
+        )
+        curves = series["curves"]
+        assert curves["fractions"].tolist() == [0.0, 0.4]
+        assert curves["stratification_index"].shape == (2,)
+        assert curves["standard_stratification_index"].shape == (2,)
+        # The obedient baseline has only standard peers...
+        assert curves["standard_peers"][0] == 14.0
+        # ...and the adversarial point has some free-riders.
+        assert curves["free_rider_peers"][1] > 0
+        import numpy as np
+
+        assert np.isnan(curves["free_rider_peers"][0])
+
+    def test_behavior_sweep_engines_agree(self):
+        kwargs = dict(
+            leechers=12, rounds=20, piece_count=40, seed=9, fractions=(0.3,)
+        )
+        reference = experiments.behavior_sweep_experiment(
+            engine="reference", **kwargs
+        )["curves"]
+        fast = experiments.behavior_sweep_experiment(engine="fast", **kwargs)[
+            "curves"
+        ]
+        assert sorted(reference) == sorted(fast)
+        for key in reference:
+            assert reference[key].tolist() == fast[key].tolist()
+
+    def test_behavior_sweep_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            experiments.behavior_sweep_experiment(fractions=())
+        with pytest.raises(ValueError):
+            experiments.behavior_sweep_experiment(fractions=(0.2, 1.5))
+        with pytest.raises(ValueError):
+            experiments.behavior_sweep_experiment(repetitions=0)
+
 
 class TestCLI:
     def test_parser_lists_experiments(self):
@@ -178,6 +231,57 @@ class TestCLIScenarioFlag:
         assert main(["scenario-timeline"]) == 0
         out = capsys.readouterr().out
         assert "scenario=poisson" in out
+        assert "stratification_index" in out
+
+
+class TestCLIBehaviorFlag:
+    def test_parser_accepts_behavior_mix(self):
+        parser = build_parser()
+        args = parser.parse_args(["swarm", "--behavior-mix", "freeriders"])
+        assert args.behavior_mix == "freeriders"
+        assert parser.parse_args(["swarm"]).behavior_mix is None
+
+    def test_unknown_behavior_mix_rejected_with_names(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["swarm", "--behavior-mix", "anarchy"])
+        err = capsys.readouterr().err
+        assert "anarchy" in err
+        assert "freeriders" in err and "bitthief" in err
+
+    def test_bad_mix_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["swarm", "--behavior-mix", "free_rider:lots"])
+
+    def test_behavior_mix_threaded_to_swarm_experiment(self, capsys, monkeypatch):
+        seen = {}
+        original = experiments.swarm_stratification_experiment
+
+        def spy(*, seed=0, engine="reference", scenario=None,
+                behavior_mix=None):
+            seen.update(behavior_mix=behavior_mix)
+            return original(
+                leechers=12, rounds=10, piece_count=30,
+                seed=seed, engine=engine, scenario=scenario,
+                behavior_mix=behavior_mix,
+            )
+
+        monkeypatch.setitem(cli._EXPERIMENTS, "swarm", spy)
+        assert main(["swarm", "--behavior-mix", "free_rider:0.25"]) == 0
+        assert seen == {"behavior_mix": "free_rider:0.25"}
+        assert "stratification_index" in capsys.readouterr().out
+
+    def test_behavior_sweep_runs_from_cli(self, capsys, monkeypatch):
+        def small(*, seed=0, engine="reference", workers=1, cache=None):
+            return experiments.behavior_sweep_experiment(
+                leechers=10, rounds=12, piece_count=30,
+                fractions=(0.0, 0.3),
+                seed=seed, engine=engine, workers=workers, cache=cache,
+            )
+
+        monkeypatch.setitem(cli._EXPERIMENTS, "behavior-sweep", small)
+        assert main(["behavior-sweep", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "curves" in out
         assert "stratification_index" in out
 
 

@@ -66,6 +66,8 @@ def serialize_swarm_result(result: SwarmResult) -> Dict:
                 "completed_round": peer.completed_round,
                 "arrival_round": peer.arrival_round,
                 "departed_round": peer.departed_round,
+                "behavior": peer.behavior,
+                "locality_group": peer.locality_group,
             }
             for pid, peer in sorted(result.peers.items())
         },
@@ -143,6 +145,26 @@ SWARM_TRACES = {
         ),
         "scenario": "flashcrowd",
         "seed": 103,
+    },
+    # Behavior-layer traces: the mix travels as a spec string so the spec
+    # dict stays JSON-stable.
+    "swarm_freerider": {
+        "config": dict(
+            leechers=10, seeds=1, piece_count=24, rounds=10,
+            start_completion=0.3, announce_size=6,
+            behaviors="free_rider:0.3,never_upload:0.1",
+        ),
+        "scenario": "poisson",
+        "seed": 106,
+    },
+    "swarm_nat_flashcrowd": {
+        "config": dict(
+            leechers=8, seeds=1, piece_count=20, rounds=10,
+            start_completion=0.4, announce_size=5,
+            behaviors="nat_limited:0.4,locality_biased:0.3,groups:3",
+        ),
+        "scenario": "flashcrowd",
+        "seed": 107,
     },
 }
 

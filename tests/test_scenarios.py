@@ -60,6 +60,60 @@ class TestScheduleValidation:
         with pytest.raises(TypeError):
             resolve_scenario(42)
 
+    def test_unknown_preset_error_lists_valid_names(self):
+        """The error message must enumerate every valid preset name."""
+        with pytest.raises(ValueError) as excinfo:
+            make_scenario("tsunami")
+        message = str(excinfo.value)
+        assert "tsunami" in message
+        for name in SCENARIO_NAMES:
+            assert name in message
+
+    def test_unknown_preset_via_resolve_lists_valid_names(self):
+        """resolve_scenario(str) routes through make_scenario's message."""
+        with pytest.raises(ValueError) as excinfo:
+            resolve_scenario("tsunami")
+        for name in SCENARIO_NAMES:
+            assert name in str(excinfo.value)
+
+    def test_invalid_process_error_lists_valid_processes(self):
+        from repro.bittorrent.scenarios import ARRIVAL_PROCESSES, DEPARTURE_POLICIES
+
+        with pytest.raises(ValueError) as excinfo:
+            ScenarioSchedule(arrivals="warp")
+        for name in ARRIVAL_PROCESSES:
+            assert name in str(excinfo.value)
+        with pytest.raises(ValueError) as excinfo:
+            ScenarioSchedule(departure="teleport")
+        for name in DEPARTURE_POLICIES:
+            assert name in str(excinfo.value)
+
+    @pytest.mark.parametrize("name", SCENARIO_NAMES)
+    def test_preset_override_roundtrip(self, name):
+        """Overriding a preset field with its own value reproduces the preset."""
+        base = make_scenario(name)
+        same = make_scenario(
+            name,
+            arrivals=base.arrivals,
+            arrival_rate=base.arrival_rate,
+            burst_round=base.burst_round,
+            burst_size=base.burst_size,
+            departure=base.departure,
+            linger_rounds=base.linger_rounds,
+            arrival_completion=base.arrival_completion,
+        )
+        assert same == base
+        # A real override changes exactly the targeted field.
+        bumped = make_scenario(name, arrival_completion=0.25)
+        assert bumped.arrival_completion == 0.25
+        assert bumped == make_scenario(name, arrival_completion=0.25)
+
+    def test_overrides_still_validated(self):
+        with pytest.raises(ValueError):
+            make_scenario("poisson", arrival_rate=-1.0)
+        with pytest.raises(TypeError):
+            make_scenario("poisson", warp_factor=9)
+
 
 class TestArrivalProcess:
     def test_static_draws_nothing(self):

@@ -55,6 +55,7 @@ def test_domains_and_pairing_are_consistent() -> None:
     assert streams.paired_names("core") == {streams.INITIATIVES}
     assert streams.paired_names("bittorrent") == {
         streams.BANDWIDTH,
+        streams.BEHAVIOR,
         streams.BOOTSTRAP,
         streams.TRACKER,
         streams.SCENARIO,

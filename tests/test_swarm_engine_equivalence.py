@@ -21,6 +21,12 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.bittorrent.behaviors import (
+    BEHAVIOR_MIX_NAMES,
+    BEHAVIOR_NAMES,
+    STANDARD,
+    BehaviorMix,
+)
 from repro.bittorrent.fast.bitfields import BitfieldMatrix
 from repro.bittorrent.fast.choking import batched_regular_slots
 from repro.bittorrent.fast.swarm import FastSwarmSimulator
@@ -72,6 +78,8 @@ def assert_results_identical(reference: SwarmResult, fast: SwarmResult) -> None:
         assert a.completed_round == b.completed_round
         assert a.arrival_round == b.arrival_round
         assert a.departed_round == b.departed_round
+        assert a.behavior == b.behavior
+        assert a.locality_group == b.locality_group
 
 
 def run_both(config: SwarmConfig, seed: int, **kwargs):
@@ -378,6 +386,142 @@ class TestScenarioEquivalence:
             start_completion=start_completion,
             piece_selection=policy,
             announce_size=5,
+        )
+        run_both(config, seed=seed, scenario=scenario)
+
+
+@st.composite
+def behavior_mixes(draw) -> BehaviorMix:
+    """Valid BehaviorMixes: 0-3 adversarial classes plus seed/locality knobs."""
+    adversarial = [name for name in BEHAVIOR_NAMES if name != STANDARD]
+    chosen = draw(
+        st.lists(st.sampled_from(adversarial), min_size=0, max_size=3, unique=True)
+    )
+    fractions = {
+        name: draw(st.sampled_from([0.1, 0.25, 0.33])) for name in chosen
+    }
+    seed_behavior = draw(st.sampled_from([STANDARD, "super_seed", "partial_seed"]))
+    locality_groups = draw(st.sampled_from([1, 2, 4]))
+    return BehaviorMix(
+        fractions=fractions,
+        seed_behavior=seed_behavior,
+        locality_groups=locality_groups,
+    )
+
+
+class TestBehaviorEquivalence:
+    """Every client behavior must be bit-identical across engines."""
+
+    BASE = dict(leechers=18, seeds=2, piece_count=50, rounds=20, start_completion=0.3)
+
+    @pytest.mark.parametrize(
+        "name", [name for name in BEHAVIOR_NAMES if name != STANDARD]
+    )
+    def test_single_behavior_classes(self, name):
+        """Each adversarial class alone, at a fraction that guarantees members."""
+        config = SwarmConfig(
+            behaviors=BehaviorMix(fractions={name: 0.4}), **self.BASE
+        )
+        reference, fast = run_both(config, seed=47)
+        assert any(p.behavior == name for p in reference.leechers())
+        assert reference.download_rates() == fast.download_rates()
+
+    @pytest.mark.parametrize("preset", BEHAVIOR_MIX_NAMES)
+    def test_mix_presets(self, preset):
+        config = SwarmConfig(behaviors=preset, **self.BASE)
+        run_both(config, seed=53)
+
+    def test_trivial_mix_matches_no_mix(self):
+        """Enabling the behavior layer with no adversaries draws nothing."""
+        config = SwarmConfig(**self.BASE)
+        plain, _ = run_both(config, seed=59)
+        mixed, _ = run_both(
+            SwarmConfig(behaviors=BehaviorMix(), **self.BASE), seed=59
+        )
+        assert_results_identical(plain, mixed)
+
+    def test_super_seeding_reveals_one_piece_per_transfer(self):
+        config = SwarmConfig(
+            behaviors=BehaviorMix(seed_behavior="super_seed"), **self.BASE
+        )
+        run_both(config, seed=61)
+
+    def test_never_upload_peers_upload_nothing(self):
+        config = SwarmConfig(
+            behaviors=BehaviorMix(fractions={"never_upload": 0.3}), **self.BASE
+        )
+        reference, _ = run_both(config, seed=67)
+        thieves = [p for p in reference.leechers() if p.behavior == "never_upload"]
+        assert thieves
+        assert all(p.uploaded_kbit == 0.0 for p in thieves)
+
+    def test_partial_seeds_never_complete(self):
+        config = SwarmConfig(
+            behaviors=BehaviorMix(fractions={"partial_seed": 0.3}), **self.BASE
+        )
+        reference, _ = run_both(config, seed=71)
+        partial = [p for p in reference.leechers() if p.behavior == "partial_seed"]
+        assert partial
+        assert all(p.completed_round is None for p in partial)
+        assert all(not p.bitfield.is_complete() for p in partial)
+
+    def test_behaviors_under_churn(self):
+        """Behavior assignment of arrivals stays identical under every scenario."""
+        config = SwarmConfig(behaviors="hostile", **self.BASE)
+        for name in SCENARIO_NAMES:
+            run_both(config, seed=73, scenario=name)
+
+    def test_arrival_mix_override(self):
+        """A scenario's own mix governs arrivals; the swarm mix, the initial set."""
+        scenario = ScenarioSchedule(
+            arrivals="flashcrowd",
+            burst_round=3,
+            burst_size=20,
+            behaviors=BehaviorMix(fractions={"free_rider": 1.0}),
+        )
+        config = SwarmConfig(**self.BASE)
+        reference, _ = run_both(config, seed=79, scenario=scenario)
+        joiners = [p for p in reference.leechers() if p.arrival_round >= 3]
+        assert joiners
+        assert all(p.behavior == "free_rider" for p in joiners)
+        initial = [p for p in reference.leechers() if p.arrival_round == 0]
+        assert all(p.behavior == STANDARD for p in initial)
+
+    @pytest.mark.slow
+    @_settings
+    @given(
+        mix=behavior_mixes(),
+        scenario=scenario_schedules(),
+        leechers=st.integers(min_value=4, max_value=16),
+        seeds=st.integers(min_value=0, max_value=2),
+        piece_count=st.integers(min_value=8, max_value=40),
+        rounds=st.integers(min_value=2, max_value=14),
+        start_completion=st.sampled_from([0.0, 0.3, 0.7]),
+        policy=st.sampled_from(["rarest-first", "random", "sequential"]),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_behavior_equivalence_property(
+        self,
+        mix,
+        scenario,
+        leechers,
+        seeds,
+        piece_count,
+        rounds,
+        start_completion,
+        policy,
+        seed,
+    ):
+        """fast == reference bit-for-bit over mixed behaviors x scenarios."""
+        config = SwarmConfig(
+            leechers=leechers,
+            seeds=seeds,
+            piece_count=piece_count,
+            rounds=rounds,
+            start_completion=start_completion,
+            piece_selection=policy,
+            announce_size=5,
+            behaviors=mix,
         )
         run_both(config, seed=seed, scenario=scenario)
 

@@ -34,7 +34,11 @@ from repro.bittorrent.tracker import ScrapeStats, Tracker
 from repro.experiments import telemetry_experiment
 from repro.sim.random_source import RandomSource
 
-from test_swarm_engine_equivalence import assert_results_identical, scenario_schedules
+from test_swarm_engine_equivalence import (
+    assert_results_identical,
+    behavior_mixes,
+    scenario_schedules,
+)
 
 _settings = settings(
     max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow]
@@ -513,6 +517,37 @@ class TestObserverProperties:
             <= campaign.reported_downloads()
             <= unobserved.completed
         )
+
+    @given(
+        mix=behavior_mixes(),
+        scenario=scenario_schedules(),
+        seed=st.integers(min_value=0, max_value=10_000),
+        engine=st.sampled_from(["reference", "fast"]),
+    )
+    @_settings
+    def test_observer_invisible_over_behavior_scenarios(
+        self, mix, scenario, seed, engine
+    ):
+        """Observing an adversarial swarm must not perturb it either."""
+        config = SwarmConfig(
+            leechers=8,
+            seeds=1,
+            piece_count=16,
+            rounds=8,
+            start_completion=0.25,
+            announce_size=5,
+            behaviors=mix,
+        )
+        observer = ObserverConfig(
+            scrape_interval=1, poll_interval=2, poll_budget=4
+        )
+        unobserved = SwarmSimulator(
+            config, seed=seed, engine=engine, scenario=scenario
+        ).run()
+        observed_run = SwarmSimulator(
+            config, seed=seed, engine=engine, scenario=scenario, observer=observer
+        ).run()
+        assert_results_identical(unobserved, observed_run)
 
     @given(
         scenario=scenario_schedules(),
