@@ -1,0 +1,228 @@
+"""Fault-layer scaling: reference vs fast swarm engine under failures.
+
+``bench_behaviors.py`` times the engines under adversarial peers; this
+benchmark times them under the fault layer (:mod:`repro.bittorrent.faults`):
+a kitchen-sink schedule with background transfer loss, a tracker outage,
+a mass peer crash with rejoin and a network partition, on top of poisson
+churn so the outage actually queues announces.  Faults touch the paths
+the fast engine vectorizes batch-wise -- the per-round loss draw over the
+canonical transfer list, the crash victim draw, the partition-group
+assignment, the deferred announce/retry queue -- so the claim gated here
+is that the array design keeps its >= 5x advantage at 5,000 leechers
+*while the substrate fails*, not just on the reliable swarm the paper
+assumes.
+
+Both engines run through the public ``engine=`` switch with the same seed
+and schedule, and are bit-identical (checksummed below, churn counters
+included), so the timed work is the same faulty swarm round for round.
+
+Run headlessly (writes ``BENCH_faults.json`` in the repo root):
+
+    python benchmarks/bench_faults.py --quick     # 1k + 5k
+    python benchmarks/bench_faults.py             # 1k + 5k + 20k faulty (fast only)
+
+or through pytest: ``pytest benchmarks/bench_faults.py -s``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+if __name__ == "__main__":  # headless invocation: make src/ importable
+    _SRC = Path(__file__).resolve().parent.parent / "src"
+    if str(_SRC) not in sys.path:
+        sys.path.insert(0, str(_SRC))
+
+from repro.bittorrent.swarm import SwarmConfig, SwarmSimulator
+
+SEED = 2007  # ICDCS'07
+TIMED_SIZES = (1_000, 5_000)  # both engines; full mode adds the showcase
+SHOWCASE_SIZE = 20_000  # faulty swarm, fast engine only (full mode)
+REQUIRED_SPEEDUP_AT_5K = 5.0
+GATE_SIZE = 5_000
+
+# Every fault type at once: 5% background loss all run, a tracker outage,
+# a 50-peer crash that rejoins, and a two-way partition, so the loss
+# filter, the deferred-announce queue, the crash scrub/rejoin and the
+# partition mask are all on the timed path.
+FAULTS = "loss:0.05,outage:3+2,crash:50@4~3,partition:6+3/2"
+SCENARIO = "poisson"  # churn makes the outage queue real announces
+
+
+def _swarm_config(leechers: int) -> SwarmConfig:
+    """The timed faulty swarm.
+
+    Same shape as the behavior benchmark except ``piece_count``: 500
+    pieces keep the population mid-download for all 10 rounds, so the
+    leave-on-completion churn cannot drain the swarm early and shrink
+    the timed work.
+    """
+    return SwarmConfig(
+        leechers=leechers,
+        seeds=max(3, leechers // 2_000),
+        piece_count=500,
+        rounds=10,
+        start_completion=0.3,
+        seed_upload_kbps=5_000.0,
+        announce_size=20,
+        faults=FAULTS,
+    )
+
+
+def _checksum(result) -> Dict[str, float]:
+    """A few exact aggregates; engines diverging here invalidates the timing."""
+    return {
+        "completed": result.completed,
+        "rounds_run": result.rounds_run,
+        "arrivals": result.arrivals,
+        "departures": result.departures,
+        "total_downloaded_kbit": sum(
+            p.downloaded_kbit for p in result.peers.values()
+        ),
+        "total_uploaded_kbit": sum(
+            p.uploaded_kbit for p in result.peers.values()
+        ),
+        "collaboration_pairs": len(result.collaboration_volume),
+        "tft_pairs": len(result.tft_reciprocal_rounds),
+    }
+
+
+def _time_engine(leechers: int, engine: str) -> Dict[str, object]:
+    config = _swarm_config(leechers)
+    start = time.perf_counter()
+    result = SwarmSimulator(
+        config, seed=SEED, engine=engine, scenario=SCENARIO
+    ).run()
+    elapsed = time.perf_counter() - start
+    return {"seconds": elapsed, "checksum": _checksum(result)}
+
+
+def run_scaling(sizes, showcase: Optional[int] = None) -> List[Dict[str, object]]:
+    """Time both engines on the identical faulty workload at each size."""
+    rows: List[Dict[str, object]] = []
+    for leechers in sizes:
+        fast = _time_engine(leechers, "fast")
+        reference = _time_engine(leechers, "reference")
+        if reference["checksum"] != fast["checksum"]:
+            raise AssertionError(
+                f"engines diverged at leechers={leechers}: "
+                f"reference={reference['checksum']}, fast={fast['checksum']}"
+            )
+        speedup = reference["seconds"] / fast["seconds"]
+        rows.append(
+            {
+                "leechers": leechers,
+                "faults": FAULTS,
+                "scenario": SCENARIO,
+                "reference_seconds": round(reference["seconds"], 4),
+                "fast_seconds": round(fast["seconds"], 4),
+                "speedup": round(speedup, 2),
+                "checksum": fast["checksum"],
+            }
+        )
+        print(
+            f"leechers={leechers:>7,} (faulty): reference={reference['seconds']:7.2f}s  "
+            f"fast={fast['seconds']:6.2f}s  speedup={speedup:5.1f}x  "
+            f"departures={fast['checksum']['departures']}"
+        )
+    if showcase:
+        fast = _time_engine(showcase, "fast")
+        rows.append(
+            {
+                "leechers": showcase,
+                "faults": FAULTS,
+                "scenario": SCENARIO,
+                "reference_seconds": None,
+                "fast_seconds": round(fast["seconds"], 4),
+                "speedup": None,
+                "checksum": fast["checksum"],
+            }
+        )
+        print(
+            f"leechers={showcase:>7,} (faulty): reference=   (skipped)  "
+            f"fast={fast['seconds']:6.2f}s  (fast engine only)"
+        )
+    return rows
+
+
+def build_payload(rows: List[Dict[str, object]], mode: str) -> Dict[str, object]:
+    """Assemble the JSON payload; the CLI and pytest paths share this shape."""
+    return {
+        "benchmark": "faults",
+        "workload": {
+            "seeds": "max(3, leechers // 2000)",
+            "piece_count": 500,
+            "rounds": 10,
+            "start_completion": 0.3,
+            "piece_selection": "rarest-first",
+            "announce_size": 20,
+            "bandwidths": "saroiu-like mixture",
+            "faults": FAULTS,
+            "scenario": SCENARIO,
+            "seed": SEED,
+        },
+        "mode": mode,
+        "results": rows,
+        "speedup_at_5k": next(
+            row["speedup"] for row in rows if row["leechers"] == GATE_SIZE
+        ),
+        "required_speedup_at_5k": REQUIRED_SPEEDUP_AT_5K,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-style run: 1k + 5k only (the 5x gate still applies)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="where to write the JSON result (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    showcase = None if args.quick else SHOWCASE_SIZE
+    rows = run_scaling(TIMED_SIZES, showcase)
+
+    payload = build_payload(rows, mode="quick" if args.quick else "full")
+    speedup_at_5k = payload["speedup_at_5k"]
+    # Import here so the module also works when pytest imports it from the
+    # benchmarks directory (conftest is on the path in both invocations).
+    from conftest import write_benchmark_json
+
+    path = write_benchmark_json("faults", payload, args.output)
+    print(f"wrote {path}")
+
+    if speedup_at_5k < REQUIRED_SPEEDUP_AT_5K:
+        print(
+            f"FAIL: fast engine speedup on the faulty 5k swarm is "
+            f"{speedup_at_5k:.1f}x (required: >= {REQUIRED_SPEEDUP_AT_5K:.0f}x)"
+        )
+        return 1
+    print(
+        f"PASS: fast engine is {speedup_at_5k:.1f}x faster on the faulty "
+        f"5k swarm (required: >= {REQUIRED_SPEEDUP_AT_5K:.0f}x)"
+    )
+    return 0
+
+
+def test_faults_quick():
+    """Pytest entry point: the faulty quick sizes must clear the 5x gate."""
+    rows = run_scaling(TIMED_SIZES)
+    from conftest import write_benchmark_json
+
+    payload = build_payload(rows, mode="quick")
+    write_benchmark_json("faults", payload)
+    assert payload["speedup_at_5k"] >= REQUIRED_SPEEDUP_AT_5K
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

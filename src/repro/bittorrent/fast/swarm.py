@@ -53,6 +53,7 @@ from repro.bittorrent.behaviors import (
     resolve_behavior_mix,
 )
 from repro.bittorrent.fast.bitfields import BitfieldMatrix
+from repro.bittorrent.faults import FaultRuntime, resolve_faults
 from repro.bittorrent.fast.choking import FastChokerState, batched_regular_slots
 from repro.bittorrent.fast.tracker import (
     FastTracker,
@@ -119,6 +120,13 @@ class FastSwarmSimulator:
         self._locality_on = (
             self.behaviors.uses_locality or self._arrival_mix.uses_locality
         )
+        # The fault layer mirrors the reference engine's: one pid-level
+        # runtime, gates derived from the config alone, no draws and no
+        # branches for a trivial schedule.
+        self.faults = resolve_faults(config.faults)
+        self._faults = FaultRuntime(self.faults)
+        self._faults_active = self._faults.active
+        self.tracker_available: bool = True
         self.n_total = config.leechers + config.seeds
         self._build_population(bandwidths, distribution)
 
@@ -283,14 +291,39 @@ class FastSwarmSimulator:
         """Departures then arrivals, mirroring the reference step for step.
 
         Returns whether membership changed (i.e. the CSR must be re-frozen).
+        When a fault schedule is active, the pinned extra steps of the
+        protocol (``docs/faults.md``) run in exactly the reference
+        engine's order: recovery flush and crash rejoins first, then the
+        scenario departures, then crash events and announce retries, the
+        scenario arrivals, and finally partition-side assignment.
         """
         scenario = self.scenario
+        faults = self._faults
         changed = False
+        if self._faults_active:
+            faults.begin_round(round_index)
+            self.tracker_available = faults.tracker_up(round_index)
+            if self.tracker_available:
+                completions, departs = faults.drain_deferred()
+                for pid in completions:
+                    self.tracker.record_completion(pid)
+                for pid in departs:
+                    self.tracker.depart(pid)
+            changed |= self._process_rejoins(round_index)
         if scenario.departure != "stay":
-            due = sorted(self._depart_due.pop(round_index, []))
+            # The alive filter and the dedupe only matter under crashes:
+            # a victim's stale bucket entry must not fire while it is
+            # gone, and a rejoiner's rescheduled entry can coexist with
+            # the original one.  Fault-free runs never hit either.
+            due = sorted(
+                {i for i in self._depart_due.pop(round_index, []) if self.alive[i]}
+            )
             for i in due:
                 self._depart(i, round_index)
-            changed = bool(due)
+            changed |= bool(due)
+        if self._faults_active:
+            changed |= self._process_crashes(round_index)
+            changed |= self._process_pending_announces(round_index)
         count = scenario.arrivals_for_round(
             round_index, self._total_arrived, self.source.stream(streams.SCENARIO)
         )
@@ -299,6 +332,11 @@ class FastSwarmSimulator:
             self._arrive_batch(capacities, round_index)
             self._total_arrived += count
             changed = True
+        if self._faults_active and faults.partition_active(round_index):
+            alive_pids = [i + 1 for i in range(self.n_total) if self.alive[i]]
+            faults.assign_missing_groups(
+                round_index, alive_pids, self.source.stream(streams.FAULT_PARTITION)
+            )
         return changed
 
     def _depart(self, i: int, round_index: int) -> None:
@@ -314,7 +352,137 @@ class FastSwarmSimulator:
         self.neighbor_sets[i] = set()
         self.partial.pop(i, None)
         self.chokers.drop(pid)
-        self.tracker.depart(pid)
+        if self._faults_active and not self.tracker_available:
+            self._faults.defer_depart(pid)
+        else:
+            self.tracker.depart(pid)
+
+    # -- fault dynamics ------------------------------------------------------------
+
+    def _announce_or_queue(self, pid: int, round_index: int) -> None:
+        """Announce ``pid``, or queue a backoff retry mid-outage (no draws).
+
+        Mirrors ``SwarmSimulator._announce_or_queue``: the behavior
+        filter sees the raw tracker contacts, and stale entries of
+        crashed peers are dropped afterwards (a dead peer does not
+        answer a handshake).
+        """
+        if not self.tracker_available:
+            self._faults.queue_announce(pid, round_index)
+            return
+        announced = self.tracker.announce(pid, self.source.stream(streams.TRACKER))
+        contacts: Sequence[int] = (
+            self._contact_filter(pid, announced)
+            if self._behaviors_active
+            else announced
+        )
+        i = pid - 1
+        for contact in contacts:
+            j = int(contact) - 1
+            if not self.alive[j]:
+                continue  # stale tracker entry: a crashed peer
+            self.neighbor_sets[i].add(j)
+            self.neighbor_sets[j].add(i)
+
+    def _process_rejoins(self, round_index: int) -> bool:
+        """Restore crashed peers whose rejoin falls due this round.
+
+        The dense row (bitfield, statistics, behavior) survived the
+        crash untouched; neighbors, partial credit and choker state were
+        scrubbed at crash time, so flipping ``alive`` back and
+        re-announcing is all a rejoin takes.  An already-complete
+        rejoiner re-enters the deterministic departure queue.
+        """
+        due = self._faults.rejoins_due(round_index)
+        if not due:
+            return False
+        for pid in due:
+            i = pid - 1
+            self._departed.pop(pid, None)
+            self.alive[i] = True
+            self.counts += self.bitfields.unpack_row(i)
+            if self.scenario.departure != "stay" and self.completed_round[i] is not None:
+                due_round = max(
+                    round_index,
+                    self.completed_round[i] + 1 + self.scenario.effective_linger,
+                )
+                self._depart_due.setdefault(due_round, []).append(i)
+            self._announce_or_queue(pid, round_index)
+        return True
+
+    def _process_crashes(self, round_index: int) -> bool:
+        """Fire the round's crash event, if the schedule has one."""
+        candidates = [
+            i + 1 for i in range(self.n_total) if self.alive[i] and not self.is_seed[i]
+        ]
+        victims = self._faults.select_crash_victims(
+            round_index, candidates, self.source.stream(streams.FAULT_CRASH)
+        )
+        for pid in victims:
+            self._crash(pid - 1, round_index)
+        return bool(victims)
+
+    def _crash(self, i: int, round_index: int) -> None:
+        """Vanish dense row ``i`` without telling the tracker.
+
+        Unlike :meth:`_depart` the tracker keeps the stale registration
+        (and keeps handing the id out); the scrub order matters -- the
+        snapshot is materialized *after* neighbors, partial credit and
+        last-round receipts are cleared, so it matches the reference
+        engine's crashed-peer snapshot field for field.
+        """
+        pid = i + 1
+        self.alive[i] = False
+        self.counts -= self.bitfields.unpack_row(i)
+        for j in self.neighbor_sets[i]:
+            self.neighbor_sets[j].discard(i)
+        self.neighbor_sets[i] = set()
+        self.partial.pop(i, None)
+        self._last_received.pop(pid, None)
+        self.chokers.drop(pid)
+        self._faults.clear_announce(pid)
+        snapshot = self._materialize_one(i)
+        snapshot.departed_round = round_index
+        self._departed[pid] = snapshot
+
+    def _process_pending_announces(self, round_index: int) -> bool:
+        """Retry queued announces whose backoff expires this round."""
+        delivered = False
+        for pid in self._faults.announces_due(round_index):
+            if not self.alive[pid - 1]:
+                # Crashed (or departed) while waiting: the announce dies
+                # with the peer.
+                self._faults.clear_announce(pid)
+                continue
+            if not self.tracker_available:
+                self._faults.reschedule_announce(pid, round_index)
+                continue
+            self._faults.clear_announce(pid)
+            self._announce_or_queue(pid, round_index)
+            delivered = True
+        return delivered
+
+    def _filter_faulty_transfers(
+        self,
+        transfers: List[Tuple[int, int, float]],
+        round_index: int,
+    ) -> List[Tuple[int, int, float]]:
+        """Drop transfers lost to partitions and message loss this round.
+
+        The loss batch is drawn over the canonical sorted pid pairs --
+        exactly the order the reference engine derives from its transfer
+        dict -- so both engines consume the ``fault-loss`` stream
+        identically and drop the same pairs.
+        """
+        if not transfers:
+            return transfers
+        pairs = sorted((s + 1, r + 1) for s, r, _ in transfers)
+        dropped = self._faults.dropped_pairs(
+            round_index, pairs, self.source.stream(streams.FAULT_LOSS)
+        )
+        if not dropped:
+            return transfers
+        return [t for t in transfers if (t[0] + 1, t[1] + 1) not in dropped]
 
     def _arrive_batch(self, capacities: np.ndarray, round_index: int) -> None:
         """Join ``len(capacities)`` fresh leechers (grows every array)."""
@@ -358,7 +526,6 @@ class FastSwarmSimulator:
 
         start_default = self.scenario.arrival_pieces(config.piece_count)
         bootstrap_rng = self.source.stream(streams.BOOTSTRAP)
-        announce_rng = self.source.stream(streams.TRACKER)
         for k in range(count):
             i = base + k
             start_pieces = bootstrap_piece_count(
@@ -372,15 +539,7 @@ class FastSwarmSimulator:
                     ),
                 )
                 self.counts += self.bitfields.unpack_row(i)
-            announced = self.tracker.announce(i + 1, announce_rng)
-            contacts = (
-                self._contact_filter(i + 1, announced)
-                if self._behaviors_active
-                else announced
-            )
-            for contact in contacts:
-                self.neighbor_sets[i].add(int(contact) - 1)
-                self.neighbor_sets[int(contact) - 1].add(i)
+            self._announce_or_queue(i + 1, round_index)
 
     # -- simulation ---------------------------------------------------------------
 
@@ -413,6 +572,8 @@ class FastSwarmSimulator:
                 incomplete = self._count_incomplete()
                 self._rebuild_csr()
             transfers, regular_pairs = self._plan_round(rng)
+            if self._faults_active:
+                transfers = self._filter_faulty_transfers(transfers, round_index)
             self._record_reciprocal_tft(regular_pairs, tft_rounds, round_index)
             newly, incomplete = self._apply_round(
                 transfers, collaboration, rng, round_index, incomplete
@@ -420,8 +581,13 @@ class FastSwarmSimulator:
             completed += newly
             if observer is not None:
                 observer.observe_round(round_index, regular_pairs)
-            if incomplete == 0 and not scenario.more_arrivals_after(
-                round_index, self._total_arrived
+            if (
+                incomplete == 0
+                and not scenario.more_arrivals_after(round_index, self._total_arrived)
+                and not (
+                    self._faults_active
+                    and self._faults.blocks_early_exit(round_index)
+                )
             ):
                 rounds_run = round_index
                 break
@@ -712,7 +878,10 @@ class FastSwarmSimulator:
                     self.completed_round[receiver] = round_index
                     newly_completed += 1
                     incomplete -= 1
-                    self.tracker.record_completion(receiver + 1)
+                    if self._faults_active and not self.tracker_available:
+                        self._faults.defer_completion(receiver + 1)
+                    else:
+                        self.tracker.record_completion(receiver + 1)
                     if self.scenario.departure != "stay":
                         due_round = round_index + 1 + self.scenario.effective_linger
                         self._depart_due.setdefault(due_round, []).append(receiver)

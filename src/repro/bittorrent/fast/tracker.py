@@ -24,6 +24,7 @@ tests cover both the construction path and churning scenarios.
 
 from __future__ import annotations
 
+import bisect
 from typing import Callable, List, Optional, Set, Tuple
 
 import numpy as np
@@ -57,30 +58,47 @@ class FastTracker:
     def announce(self, peer_id: int, rng: np.random.Generator) -> np.ndarray:
         """Register ``peer_id`` and return its random contacts (peer ids).
 
-        ``peer_id`` must be ``max_id + 1``: ids grow monotonically even
-        under churn (departed ids are never reused), which is what keeps
-        the alive set a range for as long as nobody departs.
+        Ids grow monotonically even under churn (departed ids are never
+        reused), which keeps the alive set a range -- and announces
+        materialization-free -- for as long as nobody departs and ids
+        arrive in order.  The fault layer breaks both assumptions:
+        crashed peers *re-announce* on rejoin (a fresh contact draw, no
+        registration -- the crash never deregistered them), and an
+        announce delayed by outage backoff can arrive after a younger
+        peer's.  Both drop to the dynamic sorted-list regime and consume
+        the random stream exactly like the reference tracker.
         """
-        if peer_id != self._max_id + 1:
-            raise ValueError(
-                f"FastTracker requires increasing ids; expected "
-                f"{self._max_id + 1}, got {peer_id}"
-            )
-        self._max_id = peer_id
-        if self._alive is None:
-            known = peer_id - 1
-            if known == 0:
+        if self.is_registered(peer_id):
+            # Re-announce (a crashed peer rejoining): draw fresh contacts
+            # from the other registered peers, no registration.
+            others = [p for p in self.known_peers() if p != peer_id]
+            if not others:
                 return np.empty(0, dtype=np.int64)
-            count = min(self.announce_size, known)
-            return rng.choice(known, size=count, replace=False).astype(np.int64) + 1
+            count = min(self.announce_size, len(others))
+            idx = rng.choice(len(others), size=count, replace=False)
+            return np.asarray(others, dtype=np.int64)[idx]
+        if self._alive is None:
+            if peer_id == self._max_id + 1:
+                # Contiguous fast path: the alive set is the range 1..max_id.
+                self._max_id = peer_id
+                known = peer_id - 1
+                if known == 0:
+                    return np.empty(0, dtype=np.int64)
+                count = min(self.announce_size, known)
+                return (
+                    rng.choice(known, size=count, replace=False).astype(np.int64) + 1
+                )
+            # Out-of-order new id (outage backoff): materialize the range
+            # and fall through to the dynamic regime.
+            self._alive = list(range(1, self._max_id + 1))
         others = self._alive
-        if not others:
-            others.append(peer_id)
-            return np.empty(0, dtype=np.int64)
-        count = min(self.announce_size, len(others))
-        idx = rng.choice(len(others), size=count, replace=False)
-        contacts = np.asarray(others, dtype=np.int64)[idx]
-        others.append(peer_id)  # peer_id exceeds every alive id: stays sorted
+        contacts = np.empty(0, dtype=np.int64)
+        if others:
+            count = min(self.announce_size, len(others))
+            idx = rng.choice(len(others), size=count, replace=False)
+            contacts = np.asarray(others, dtype=np.int64)[idx]
+        bisect.insort(others, peer_id)
+        self._max_id = max(self._max_id, peer_id)
         return contacts
 
     def depart(self, peer_id: int) -> None:

@@ -27,6 +27,16 @@ Per-round protocol (both engines, pinned order):
 3. one capacity batch from the ``"bandwidth"`` stream for the arrivals,
 4. per arrival: optional bootstrap pieces from the ``"bootstrap"`` stream,
    then one tracker announce from the ``"tracker"`` stream.
+
+Under a fault schedule (:mod:`repro.bittorrent.faults`) the scenario
+itself is unchanged -- the same draws happen at the same points -- but
+the tracker interactions it triggers may be deferred: an arrival during
+a tracker outage still joins the swarm and consumes its capacity and
+bootstrap draws, but its announce is *queued* (drawing nothing) and
+retried with deterministic backoff, consuming the tracker draw only when
+it finally succeeds; a departure during an outage leaves immediately
+while its depart (and any completion) notification is delivered on
+recovery.
 """
 
 from __future__ import annotations

@@ -51,6 +51,7 @@ from repro.bittorrent.behaviors import (
     resolve_behavior_mix,
 )
 from repro.bittorrent.choking import SeedChoker, TitForTatChoker
+from repro.bittorrent.faults import FaultRuntime, FaultSchedule, resolve_faults
 from repro.bittorrent.pieces import Bitfield, Torrent
 from repro.bittorrent.piece_selection import PieceSelector, make_selector, piece_availability
 from repro.bittorrent.scenarios import ScenarioSchedule, resolve_scenario
@@ -116,6 +117,14 @@ class SwarmConfig:
         :class:`~repro.bittorrent.behaviors.BehaviorMix`, a preset name /
         spec string, or ``None`` for the paper's homogeneous obedient
         clients).  Behaviors are bit-identical across engines.
+    faults:
+        Fault schedule of the run (a
+        :class:`~repro.bittorrent.faults.FaultSchedule`, a preset name /
+        spec string, or ``None`` for the paper's failure-free setting):
+        tracker outages, transfer loss, peer crashes and network
+        partitions.  Faults are bit-identical across engines, and a
+        trivial schedule leaves the run draw-for-draw identical to a
+        fault-free one.
     """
 
     leechers: int = 60
@@ -134,6 +143,7 @@ class SwarmConfig:
     warmup_rounds: int = 5
     optimistic_period: int = 3
     behaviors: "BehaviorMix | str | None" = None
+    faults: "FaultSchedule | str | None" = None
     piece_size_kb: InitVar[Optional[float]] = None  # repro: allow[RPD005] -- deprecation shim for the *_kb -> *_kbit rename
 
     def __post_init__(self, piece_size_kb: Optional[float]) -> None:  # repro: allow[RPD005] -- deprecation shim for the *_kb -> *_kbit rename
@@ -164,6 +174,8 @@ class SwarmConfig:
             raise ValueError("optimistic_period must be positive")
         if self.behaviors is not None:
             self.behaviors = resolve_behavior_mix(self.behaviors)
+        if self.faults is not None:
+            self.faults = resolve_faults(self.faults)
 
     def __getattr__(self, name: str):
         if name == "piece_size_kb":
@@ -367,6 +379,14 @@ class SwarmSimulator:
         self._locality_on = (
             self.behaviors.uses_locality or self._arrival_mix.uses_locality
         )
+        # The fault layer: one shared pid-level runtime per run.  A
+        # trivial schedule keeps every fault branch off (and every
+        # fault-* stream untouched), so fault-free runs stay
+        # draw-for-draw identical to pre-fault-layer ones.
+        self.faults = resolve_faults(config.faults)
+        self._faults = FaultRuntime(self.faults)
+        self._faults_active = self._faults.active
+        self.tracker_available = True
         if engine == "fast":
             from repro.bittorrent.fast.swarm import FastSwarmSimulator
 
@@ -495,6 +515,18 @@ class SwarmSimulator:
             if peer.bitfield.is_complete():
                 self.tracker.register_complete(pid)
 
+    def _locality_group_of(self, pid: int) -> int:
+        """Locality group of a peer, crashed peers included.
+
+        A crashed peer never departs the tracker, so its id can show up
+        in another peer's contacts; its group (assigned at arrival,
+        retained across the crash) lives on its frozen snapshot.
+        """
+        peer = self.peers.get(pid)
+        if peer is None:
+            peer = self._departed[pid]
+        return peer.locality_group
+
     def _filter_contacts(
         self,
         pid: int,
@@ -507,7 +539,7 @@ class SwarmSimulator:
             self._profiles[pid],
             self.peers[pid].locality_group,
             contact_list,
-            [self.peers[contact].locality_group for contact in contact_list],
+            [self._locality_group_of(contact) for contact in contact_list],
             [self._profiles[contact].nat_limited for contact in contact_list],
             behavior_rng,
         )
@@ -521,9 +553,23 @@ class SwarmSimulator:
         capacity batch, then per-arrival bootstrap + announce) is the
         engine-shared protocol documented in
         :mod:`repro.bittorrent.scenarios` -- the fast engine replays it
-        step for step on the same streams.
+        step for step on the same streams.  When a fault schedule is
+        active the protocol grows pinned extra steps (see
+        ``docs/faults.md``): recovery flush and crash rejoins *before*
+        the scenario departures, crash events and announce retries after
+        them, and partition-side assignment at the very end.
         """
         scenario = self.scenario
+        if self._faults_active:
+            self._faults.begin_round(round_index)
+            self.tracker_available = self._faults.tracker_up(round_index)
+            if self.tracker_available:
+                completions, departs = self._faults.drain_deferred()
+                for pid in completions:
+                    self.tracker.record_completion(pid)
+                for pid in departs:
+                    self.tracker.depart(pid)
+            self._process_rejoins(round_index)
         if scenario.departure != "stay":
             due = [
                 pid
@@ -533,6 +579,9 @@ class SwarmSimulator:
             ]
             for pid in due:
                 self._depart(pid, round_index)
+        if self._faults_active:
+            self._process_crashes(round_index)
+            self._process_pending_announces(round_index)
         count = scenario.arrivals_for_round(
             round_index, self._total_arrived, self.source.stream(streams.SCENARIO)
         )
@@ -554,6 +603,12 @@ class SwarmSimulator:
                     arrival_groups[k],
                 )
             self._total_arrived += count
+        if self._faults_active and self._faults.partition_active(round_index):
+            self._faults.assign_missing_groups(
+                round_index,
+                sorted(self.peers),
+                self.source.stream(streams.FAULT_PARTITION),
+            )
 
     def _depart(self, pid: int, round_index: int) -> None:
         """Remove a completed leecher; freeze its statistics in the result."""
@@ -562,9 +617,110 @@ class SwarmSimulator:
         for other in peer.neighbors:
             if other in self.peers:
                 self.peers[other].neighbors.discard(pid)
-        self.tracker.depart(pid)
+        if self._faults_active and not self.tracker_available:
+            # The stopped event cannot reach the tracker mid-outage; it
+            # is delivered on recovery.
+            self._faults.defer_depart(pid)
+        else:
+            self.tracker.depart(pid)
         del self._chokers[pid]
         self._departed[pid] = peer
+
+    # -- fault dynamics ------------------------------------------------------------
+
+    def _announce_or_queue(self, pid: int, round_index: int) -> None:
+        """Announce ``pid`` to the tracker, or queue a retry mid-outage.
+
+        Successful announces consume the tracker draw (plus the behavior
+        filter batch when active) and connect symmetric edges; contacts
+        that crashed since the tracker last heard from them are dropped
+        (a dead peer does not answer a handshake).  During an outage
+        nothing is drawn -- the announce retries with doubling backoff.
+        """
+        if not self.tracker_available:
+            self._faults.queue_announce(pid, round_index)
+            return
+        contacts = self.tracker.announce(pid, self.source.stream(streams.TRACKER))
+        if self._behaviors_active:
+            contacts = self._filter_contacts(
+                pid, contacts, self.source.stream(streams.BEHAVIOR)
+            )
+        peer = self.peers[pid]
+        for other in contacts:
+            other = int(other)
+            if other not in self.peers:
+                continue  # stale tracker entry: a crashed peer
+            peer.neighbors.add(other)
+            self.peers[other].neighbors.add(pid)
+
+    def _process_rejoins(self, round_index: int) -> None:
+        """Restore crashed peers whose rejoin falls due this round.
+
+        The bitfield (and the download statistics) survived the crash;
+        neighbors, partial piece credit and choker state did not, so the
+        peer comes back like a fresh arrival that happens to hold pieces
+        -- announcing to the tracker (or queueing the announce when the
+        rejoin lands mid-outage).
+        """
+        due = self._faults.rejoins_due(round_index)
+        if not due:
+            return
+        config = self.config
+        for pid in due:
+            peer = self._departed.pop(pid)
+            peer.departed_round = None
+            self.peers[pid] = peer
+            self._chokers[pid] = TitForTatChoker(
+                regular_slots=config.regular_slots,
+                optimistic_slots=config.optimistic_slots,
+                optimistic_period=config.optimistic_period,
+            )
+            self._announce_or_queue(pid, round_index)
+        # Keep the peer dict in ascending-pid iteration order, matching
+        # the fast engine's dense-index sweeps.
+        self.peers = dict(sorted(self.peers.items()))
+
+    def _process_crashes(self, round_index: int) -> None:
+        """Fire the round's crash event, if the schedule has one."""
+        candidates = [pid for pid, peer in self.peers.items() if not peer.is_seed]
+        victims = self._faults.select_crash_victims(
+            round_index, candidates, self.source.stream(streams.FAULT_CRASH)
+        )
+        for pid in victims:
+            self._crash(pid, round_index)
+
+    def _crash(self, pid: int, round_index: int) -> None:
+        """Vanish a peer without telling the tracker.
+
+        Unlike :meth:`_depart`, the tracker keeps handing out the crashed
+        peer's id; neighbors, partial credit and last-round receipts are
+        lost (a rejoin starts those from scratch), the bitfield is kept.
+        """
+        peer = self.peers.pop(pid)
+        peer.departed_round = round_index
+        for other in peer.neighbors:
+            if other in self.peers:
+                self.peers[other].neighbors.discard(pid)
+        peer.neighbors = set()
+        peer.partial_kbit = {}
+        peer.received_last_round = {}
+        del self._chokers[pid]
+        self._faults.clear_announce(pid)
+        self._departed[pid] = peer
+
+    def _process_pending_announces(self, round_index: int) -> None:
+        """Retry queued announces whose backoff expires this round."""
+        for pid in self._faults.announces_due(round_index):
+            if pid not in self.peers:
+                # Crashed (or departed) while waiting: the announce dies
+                # with the peer.
+                self._faults.clear_announce(pid)
+                continue
+            if not self.tracker_available:
+                self._faults.reschedule_announce(pid, round_index)
+                continue
+            self._faults.clear_announce(pid)
+            self._announce_or_queue(pid, round_index)
 
     def _arrive(
         self,
@@ -603,14 +759,7 @@ class SwarmSimulator:
             optimistic_slots=config.optimistic_slots,
             optimistic_period=config.optimistic_period,
         )
-        contacts = self.tracker.announce(pid, self.source.stream(streams.TRACKER))
-        if self._behaviors_active:
-            contacts = self._filter_contacts(
-                pid, contacts, self.source.stream(streams.BEHAVIOR)
-            )
-        peer.neighbors.update(contacts)
-        for other in contacts:
-            self.peers[other].neighbors.add(pid)
+        self._announce_or_queue(pid, round_index)
 
     # -- simulation ---------------------------------------------------------------
 
@@ -632,15 +781,24 @@ class SwarmSimulator:
         for round_index in range(1, config.rounds + 1):
             self._process_membership(round_index)
             transfers, regular_pairs = self._plan_round(rng)
+            if self._faults_active:
+                transfers = self._filter_faulty_transfers(transfers, round_index)
             self._record_reciprocal_tft(regular_pairs, tft_rounds, round_index)
             completed += self._apply_round(transfers, collaboration, rng, round_index)
             if observer is not None:
                 observer.observe_round(round_index, regular_pairs)
-            if all(
-                p.bitfield.is_complete()
-                for p in self.peers.values()
-                if not p.is_seed and self._profiles[p.peer_id].downloads
-            ) and not scenario.more_arrivals_after(round_index, self._total_arrived):
+            if (
+                all(
+                    p.bitfield.is_complete()
+                    for p in self.peers.values()
+                    if not p.is_seed and self._profiles[p.peer_id].downloads
+                )
+                and not scenario.more_arrivals_after(round_index, self._total_arrived)
+                and not (
+                    self._faults_active
+                    and self._faults.blocks_early_exit(round_index)
+                )
+            ):
                 rounds_run = round_index
                 break
         all_peers = dict(self._departed)
@@ -701,6 +859,30 @@ class SwarmSimulator:
             for target in unchoked:
                 transfers[(peer.peer_id, target)] = share
         return transfers, regular_pairs
+
+    def _filter_faulty_transfers(
+        self,
+        transfers: Dict[Tuple[int, int], float],
+        round_index: int,
+    ) -> Dict[Tuple[int, int], float]:
+        """Drop transfers lost to partitions and message loss this round.
+
+        The unchoke decisions stand -- loss kills the payload, not the
+        relationship -- so ``regular_pairs`` (and with it the reciprocal
+        Tit-for-Tat statistic) is computed from the *planned* round.  The
+        loss batch is drawn over the sorted pid pairs, the same
+        canonical order the fast engine uses.
+        """
+        if not transfers:
+            return transfers
+        dropped = self._faults.dropped_pairs(
+            round_index, sorted(transfers), self.source.stream(streams.FAULT_LOSS)
+        )
+        if not dropped:
+            return transfers
+        return {
+            pair: share for pair, share in transfers.items() if pair not in dropped
+        }
 
     def _record_reciprocal_tft(
         self,
@@ -770,7 +952,10 @@ class SwarmSimulator:
                 if receiver.bitfield.is_complete() and receiver.completed_round is None:
                     receiver.completed_round = round_index
                     newly_completed += 1
-                    self.tracker.record_completion(receiver_id)
+                    if self._faults_active and not self.tracker_available:
+                        self._faults.defer_completion(receiver_id)
+                    else:
+                        self.tracker.record_completion(receiver_id)
             receiver.partial_kbit[sender_id] = credit
 
         for pid, received in sorted(received_now.items()):

@@ -43,6 +43,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.bittorrent.faults import TrackerUnavailableError
 from repro.bittorrent.tracker import ScrapeStats
 from repro.sim import streams
 from repro.sim.recorder import MetricRecorder
@@ -343,13 +344,26 @@ class SwarmObserver:
         )
         scrape_due = poll_due or (round_index - 1) % config.scrape_interval == 0
         if scrape_due:
-            self.observed.record_scrape(round_index, self._view.scrape())
+            # A tracker outage (the fault layer) fails the scrape: the
+            # sample is simply *absent* from the series, exactly like a
+            # crawler's failed HTTP request.  The schedule itself is
+            # unchanged -- the next due round tries again.
+            try:
+                self.observed.record_scrape(round_index, self._view.scrape())
+            except TrackerUnavailableError:
+                pass
         if poll_due:
             self._poll(round_index, regular_pairs)
 
     def _poll(self, round_index: int, regular_pairs: Set[Tuple[int, int]]) -> None:
         view = self._view
-        known = view.known_peers()
+        try:
+            known = view.known_peers()
+        except TrackerUnavailableError:
+            # Tracker down mid-campaign: a real crawler falls back to the
+            # peers it has already met.  Polls against that roster still
+            # go out (peer polls are peer-to-peer, not via the tracker).
+            known = sorted(self.observed.timelines)
         if not known:
             return
         budget = self.config.poll_budget
@@ -369,10 +383,13 @@ class SwarmObserver:
                 reciprocal.setdefault(b, []).append(a)
         self.observed.poll_rounds.append(round_index)
         for pid in sample:
+            progress = view.progress(pid)
+            if progress is None:
+                # The peer is gone (departed, or crashed without telling
+                # the tracker): the poll times out and records nothing.
+                continue
             partners = tuple(sorted(reciprocal.get(pid, ())))
-            self.observed.record_poll(
-                round_index, pid, view.progress(pid), partners
-            )
+            self.observed.record_poll(round_index, pid, progress, partners)
 
     def finish(self, rounds_run: int) -> ObservedSwarm:
         """Close the campaign; returns the collected record."""
@@ -399,32 +416,14 @@ def resolve_observer(
 
 
 class _ReferenceSwarmView:
-    """Read-only measurement surface of the reference engine."""
+    """Read-only measurement surface of the reference engine.
 
-    def __init__(self, simulator) -> None:
-        self._simulator = simulator
-        config = simulator.config
-        self.piece_count = config.piece_count
-        self.piece_size_kbit = config.piece_size_kbit
-        self.round_seconds = config.round_seconds
-        self.source = simulator.source
-
-    def scrape(self) -> ScrapeStats:
-        return self._simulator.tracker.scrape()
-
-    def known_peers(self) -> List[int]:
-        return self._simulator.tracker.known_peers()
-
-    def progress(self, peer_id: int) -> float:
-        peer = self._simulator.peers[peer_id]
-        return peer.bitfield.count() / self.piece_count
-
-
-class _FastSwarmView:
-    """Read-only measurement surface of the fast engine.
-
-    ``progress`` divides the same two integers as the reference view, so
-    the reported floats are bit-identical.
+    Tracker endpoints (``scrape`` / ``known_peers``) raise
+    :class:`~repro.bittorrent.faults.TrackerUnavailableError` during a
+    scheduled outage -- the observer sees the failure, the engine never
+    does (its own announces are deferred internally, not via this view).
+    ``progress`` returns ``None`` for peers not currently present (a
+    crashed peer's stale tracker entry can still be sampled).
     """
 
     def __init__(self, simulator) -> None:
@@ -436,11 +435,50 @@ class _FastSwarmView:
         self.source = simulator.source
 
     def scrape(self) -> ScrapeStats:
+        if not self._simulator.tracker_available:
+            raise TrackerUnavailableError("tracker outage: scrape failed")
         return self._simulator.tracker.scrape()
 
     def known_peers(self) -> List[int]:
+        if not self._simulator.tracker_available:
+            raise TrackerUnavailableError("tracker outage: announce failed")
         return self._simulator.tracker.known_peers()
 
-    def progress(self, peer_id: int) -> float:
+    def progress(self, peer_id: int) -> Optional[float]:
+        peer = self._simulator.peers.get(peer_id)
+        if peer is None:
+            return None
+        return peer.bitfield.count() / self.piece_count
+
+
+class _FastSwarmView:
+    """Read-only measurement surface of the fast engine.
+
+    ``progress`` divides the same two integers as the reference view, so
+    the reported floats are bit-identical; outage and absent-peer
+    behavior mirror :class:`_ReferenceSwarmView` exactly.
+    """
+
+    def __init__(self, simulator) -> None:
+        self._simulator = simulator
+        config = simulator.config
+        self.piece_count = config.piece_count
+        self.piece_size_kbit = config.piece_size_kbit
+        self.round_seconds = config.round_seconds
+        self.source = simulator.source
+
+    def scrape(self) -> ScrapeStats:
+        if not self._simulator.tracker_available:
+            raise TrackerUnavailableError("tracker outage: scrape failed")
+        return self._simulator.tracker.scrape()
+
+    def known_peers(self) -> List[int]:
+        if not self._simulator.tracker_available:
+            raise TrackerUnavailableError("tracker outage: announce failed")
+        return self._simulator.tracker.known_peers()
+
+    def progress(self, peer_id: int) -> Optional[float]:
+        if not self._simulator.alive[peer_id - 1]:
+            return None
         have = int(self._simulator.bitfields.have_count[peer_id - 1])
         return have / self.piece_count

@@ -74,6 +74,13 @@ class Tracker:
 
         The returned peers (and, symmetrically, the announcing peer) are
         added to each other's contact lists.
+
+        Re-announcing an already-registered peer is allowed and draws a
+        fresh contact subset -- this is how a crashed peer rejoins under
+        the fault layer (:mod:`repro.bittorrent.faults`).  Note that a
+        *crashed* peer never departs, so its stale entry keeps being
+        handed out until it rejoins; callers that care must filter
+        contacts against the currently-present population.
         """
         others = sorted(self._known - {peer_id})
         self._known.add(peer_id)
@@ -93,7 +100,10 @@ class Tracker:
         Later announces can no longer return the departed peer, which is
         how scenario departures propagate to newly arriving peers.  A
         departing seeder also leaves the scrape's seeder count (snatches,
-        being cumulative, are kept).
+        being cumulative, are kept).  During a scheduled tracker outage
+        the engines *defer* this call (and ``record_completion``) until
+        recovery, so mid-outage scrapes would -- had they not failed --
+        still show the pre-outage counters.
         """
         self._known.discard(peer_id)
         self._complete.discard(peer_id)

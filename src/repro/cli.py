@@ -22,6 +22,7 @@ from repro.bittorrent.behaviors import (
     BEHAVIOR_NAMES,
     make_behavior_mix,
 )
+from repro.bittorrent.faults import FAULT_PRESET_NAMES, make_faults
 from repro.bittorrent.scenarios import SCENARIO_NAMES
 from repro.core.exceptions import ENGINES
 from repro.sim.parallel import ResultCache, source_fingerprint
@@ -85,6 +86,7 @@ _EXPERIMENTS: Dict[str, Callable[[], object]] = {
     "scenario-timeline": experiments.scenario_stratification_timeline,
     "telemetry": experiments.telemetry_experiment,
     "behavior-sweep": experiments.behavior_sweep_experiment,
+    "fault-sweep": experiments.fault_sweep_experiment,
 }
 
 
@@ -139,6 +141,17 @@ def build_parser() -> argparse.ArgumentParser:
             "'free_rider:0.2,never_upload:0.1,seeds:super_seed,groups:4' "
             f"over the behaviors {', '.join(BEHAVIOR_NAMES)}; behaviors "
             "stay bit-identical across engines"
+        ),
+    )
+    parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="SCHEDULE",
+        help=(
+            "fault schedule for the swarm experiment: a preset "
+            f"({', '.join(FAULT_PRESET_NAMES)}) or a spec like "
+            "'outage:20+5,loss:0.02,crash:5@10~3,partition:10+5/2'; fault "
+            "runs stay bit-identical across engines"
         ),
     )
     parser.add_argument(
@@ -236,6 +249,8 @@ def _runner_kwargs(
         and getattr(args, "behavior_mix", None) is not None
     ):
         kwargs["behavior_mix"] = args.behavior_mix
+    if "faults" in parameters and getattr(args, "faults", None) is not None:
+        kwargs["faults"] = args.faults
     if "workers" in parameters:
         kwargs["workers"] = 1 if getattr(args, "profile", False) else args.workers
     if "cache" in parameters and cache is not None:
@@ -270,6 +285,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             make_behavior_mix(args.behavior_mix)
         except ValueError as exc:
             parser.error(f"--behavior-mix: {exc}")
+    if args.faults is not None:
+        try:
+            make_faults(args.faults)
+        except ValueError as exc:
+            parser.error(f"--faults: {exc}")
 
     if args.experiment == "list":
         for name in sorted(_EXPERIMENTS):

@@ -1,6 +1,7 @@
 """Figure / table reproduction drivers shared by benchmarks, examples and the CLI."""
 
 from repro.experiments.behaviors import behavior_sweep_experiment
+from repro.experiments.faults import fault_sweep_experiment
 from repro.experiments.figures import (
     figure1_convergence,
     figure2_peer_removal,
@@ -20,6 +21,7 @@ from repro.experiments.telemetry import telemetry_experiment
 
 __all__ = [
     "behavior_sweep_experiment",
+    "fault_sweep_experiment",
     "figure1_convergence",
     "figure2_peer_removal",
     "figure3_churn",

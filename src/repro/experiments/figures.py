@@ -470,12 +470,13 @@ def _swarm_point(
     observe: bool = False,
     scrape_interval: int = 1,
     behavior_mix: "str | None" = None,
+    faults: "str | None" = None,
 ) -> Dict[str, float]:
     """One seeded swarm replication -- a self-contained sweep task.
 
-    ``behavior_mix`` stays a preset / spec *string* (not a
-    :class:`~repro.bittorrent.behaviors.BehaviorMix`) so the task kwargs
-    remain picklable primitives for the sweep cache key.
+    ``behavior_mix`` and ``faults`` stay preset / spec *strings* (not
+    resolved objects) so the task kwargs remain picklable primitives for
+    the sweep cache key.
     """
     rng = np.random.default_rng(seed)
     bandwidths = np.exp(rng.uniform(np.log(100.0), np.log(2000.0), leechers))
@@ -487,6 +488,7 @@ def _swarm_point(
         start_completion=0.25,
         seed_upload_kbps=2000.0,
         behaviors=behavior_mix,
+        faults=faults,
     )
     observer = (
         ObserverConfig(scrape_interval=scrape_interval, poll_interval=scrape_interval)
@@ -544,6 +546,7 @@ def swarm_stratification_experiment(
     observe: bool = False,
     scrape_interval: int = 1,
     behavior_mix: "str | None" = None,
+    faults: "str | None" = None,
     repetitions: int = 1,
     workers: int = 1,
     cache: CacheLike = None,
@@ -577,6 +580,11 @@ def swarm_stratification_experiment(
     adversarial / heterogeneous client behaviors to the population; the
     dedicated ``behavior-sweep`` experiment varies the free-rider fraction
     systematically.
+
+    ``faults`` (a preset name or spec string from
+    :func:`~repro.bittorrent.faults.make_faults`) schedules tracker
+    outages, transfer loss, peer crashes and partitions; the dedicated
+    ``fault-sweep`` experiment varies the outage duration systematically.
     """
     if repetitions <= 0:
         raise ValueError("repetitions must be positive")
@@ -595,6 +603,7 @@ def swarm_stratification_experiment(
                 observe=observe,
                 scrape_interval=scrape_interval,
                 behavior_mix=behavior_mix,
+                faults=faults,
             ),
             label=f"swarm#rep{k}",
         )

@@ -1,0 +1,101 @@
+"""Engine-agnostic fault primitives: round windows and retry backoff.
+
+The fault-injection layer (:mod:`repro.bittorrent.faults`) describes
+failures as *round windows* -- a tracker outage covering rounds 20..24, a
+loss burst covering rounds 5..9 -- and models client retry behavior with a
+deterministic doubling backoff.  Both pieces are pure arithmetic with no
+randomness of their own, so they live here in ``sim/`` where any future
+domain (the matching engines, a DHT layer) can reuse them, and where the
+strict mypy gate keeps their contracts explicit.
+
+Determinism note: nothing in this module draws random numbers.  All fault
+*randomness* (loss coin flips, crash victim selection, partition sides)
+flows through the registered ``fault-*`` streams consumed by the swarm
+engines; the window and backoff arithmetic below merely decides *when*
+those draws happen, identically in both engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "RoundWindow",
+    "backoff_delay",
+    "next_retry_round",
+    "BACKOFF_BASE",
+    "BACKOFF_CAP",
+]
+
+#: First retry is one round after the failed attempt ...
+BACKOFF_BASE = 1
+#: ... and the doubling delay saturates at eight rounds.
+BACKOFF_CAP = 8
+
+
+@dataclass(frozen=True)
+class RoundWindow:
+    """A half-open window of simulation rounds ``[start, start + rounds)``.
+
+    ``rounds == 0`` means *open-ended*: the window covers every round from
+    ``start`` to the end of the run.  Round indices are 1-based, matching
+    the swarm engines' round loop.
+    """
+
+    start: int
+    rounds: int = 1
+
+    def __post_init__(self) -> None:
+        if self.start < 1:
+            raise ValueError(f"window start must be >= 1, got {self.start}")
+        if self.rounds < 0:
+            raise ValueError(f"window rounds must be >= 0, got {self.rounds}")
+
+    def covers(self, round_index: int) -> bool:
+        """Whether ``round_index`` falls inside the window."""
+        if round_index < self.start:
+            return False
+        return self.rounds == 0 or round_index < self.start + self.rounds
+
+    @property
+    def end(self) -> Optional[int]:
+        """Last covered round, or ``None`` for an open-ended window."""
+        if self.rounds == 0:
+            return None
+        return self.start + self.rounds - 1
+
+    def overlaps(self, other: "RoundWindow") -> bool:
+        """Whether two windows share at least one round."""
+        if self.end is not None and self.end < other.start:
+            return False
+        if other.end is not None and other.end < self.start:
+            return False
+        return True
+
+
+def backoff_delay(
+    attempt: int, *, base: int = BACKOFF_BASE, cap: int = BACKOFF_CAP
+) -> int:
+    """Deterministic doubling backoff: ``base * 2**attempt``, capped.
+
+    ``attempt`` counts *failed* retries so far: a freshly queued request
+    (attempt 0) waits ``base`` rounds, the next failure doubles the wait,
+    and the delay saturates at ``cap`` so a long outage costs at most one
+    extra ``cap``-round wait after recovery.
+    """
+    if attempt < 0:
+        raise ValueError(f"attempt must be >= 0, got {attempt}")
+    if base < 1 or cap < base:
+        raise ValueError(f"need 1 <= base <= cap, got base={base} cap={cap}")
+    # Shift in a clamped exponent so huge attempt counts cannot overflow
+    # into a slow bigint path before the cap applies.
+    exponent = min(attempt, cap.bit_length())
+    return min(base << exponent, cap)
+
+
+def next_retry_round(
+    round_index: int, attempt: int, *, base: int = BACKOFF_BASE, cap: int = BACKOFF_CAP
+) -> int:
+    """The round at which a request failed at ``round_index`` retries."""
+    return round_index + backoff_delay(attempt, base=base, cap=cap)

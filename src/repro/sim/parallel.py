@@ -39,7 +39,10 @@ import hashlib
 import json
 import multiprocessing
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
 from typing import (
@@ -51,6 +54,7 @@ from typing import (
     Mapping,
     Optional,
     Sequence,
+    Set,
     Tuple,
     Union,
 )
@@ -63,6 +67,7 @@ from repro.version import __version__
 __all__ = [
     "SeedTree",
     "SweepTask",
+    "SweepTaskError",
     "ResultCache",
     "SweepRunner",
     "run_sweep",
@@ -311,19 +316,36 @@ class ResultCache:
         return self.directory / key[:2] / f"{key}.json"
 
     def get(self, task: SweepTask) -> Tuple[bool, Any]:
-        """Look up a task; returns ``(hit, value)``."""
+        """Look up a task; returns ``(hit, value)``.
+
+        A corrupt entry (truncated JSON, mangled array bytes, wrong
+        shape) degrades to a miss *and* is quarantined: the file is
+        atomically renamed to ``<key>.corrupt``, so the recompute can
+        write a clean entry while the damaged bytes stay on disk for
+        diagnosis instead of being silently overwritten.
+        """
         path = self._path(self.key_for(task))
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
             value = _decode(payload["value"])
+        except FileNotFoundError:
+            self.misses += 1
+            return False, None
         except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
-            # Any unreadable or corrupt entry (missing file, permissions,
-            # truncated JSON or array bytes, wrong shape) is just a miss.
+            self._quarantine(path)
             self.misses += 1
             return False, None
         self.hits += 1
         return True, value
+
+    @staticmethod
+    def _quarantine(path: Path) -> None:
+        """Move a corrupt entry aside to ``<key>.corrupt`` (best effort)."""
+        try:
+            os.replace(path, path.with_suffix(".corrupt"))
+        except OSError:  # pragma: no cover - e.g. permission error
+            pass
 
     def put(self, task: SweepTask, value: Any) -> Any:
         """Store a result; returns the value as it will decode on a hit.
@@ -348,9 +370,103 @@ class ResultCache:
 # -- the runner ------------------------------------------------------------------
 
 
-def _run_chunk(payload: Sequence[Tuple[Callable[..., Any], Dict[str, Any]]]) -> List[Any]:
-    """Worker entry point: execute one chunk of (fn, kwargs) pairs in order."""
-    return [fn(**kwargs) for fn, kwargs in payload]
+def _rebuild_sweep_task_error(
+    message: str, label: str, seed: Any, key: Optional[str]
+) -> "SweepTaskError":
+    """Unpickle helper: rebuild a :class:`SweepTaskError` with its fields."""
+    return SweepTaskError(message, label=label, seed=seed, key=key)
+
+
+class SweepTaskError(RuntimeError):
+    """A sweep task failed; carries *which* one.
+
+    ``label`` is the task's human-readable tag, ``seed`` its kwargs seed
+    and ``key`` the cache key (when a cache was configured) -- enough to
+    rerun exactly the failing cell in isolation.  The original exception
+    is chained as ``__cause__`` when the task ran inline; across a
+    process boundary the chain does not survive pickling, so the cause's
+    ``repr`` is folded into the message instead.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        label: str = "",
+        seed: Any = None,
+        key: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        self.label = label
+        self.seed = seed
+        self.key = key
+
+    def __reduce__(self):
+        return _rebuild_sweep_task_error, (self.args[0], self.label, self.seed, self.key)
+
+
+def _run_chunk(
+    payload: Sequence[Tuple[Callable[..., Any], Dict[str, Any], str]]
+) -> List[Any]:
+    """Worker entry point: execute one chunk of (fn, kwargs, label) triples.
+
+    A raising task is wrapped into a :class:`SweepTaskError` naming the
+    task, so the parent learns which cell failed -- not just that *some*
+    future raised.
+    """
+    out: List[Any] = []
+    for fn, kwargs, label in payload:
+        try:
+            out.append(fn(**kwargs))
+        except Exception as exc:
+            name = label or getattr(fn, "__qualname__", repr(fn))
+            raise SweepTaskError(
+                f"sweep task {name!r} (seed={kwargs.get('seed')!r}) raised "
+                f"{exc!r}",
+                label=label,
+                seed=kwargs.get("seed"),
+            ) from exc
+    return out
+
+
+class _SweepManifest:
+    """The on-disk checkpoint of one sweep: which tasks have finished.
+
+    One JSON file, rewritten atomically after every completion, holding
+    ``{version, total, completed: {cache_key: label}, status}`` with
+    ``status`` one of ``running`` / ``interrupted`` / ``failed`` /
+    ``complete``.  Together with the result cache (which holds the
+    actual values, written as tasks finish) this makes an interrupted
+    sweep resumable: rerunning the same sweep replays the completed
+    tasks from the cache and computes only the remainder, byte-identical
+    to an uninterrupted run.
+    """
+
+    def __init__(self, path: Path, total: int) -> None:
+        self.path = path
+        self.total = total
+        self.completed: Dict[str, str] = {}
+        self.status = "running"
+
+    def mark(self, key: str, label: str) -> None:
+        self.completed[key] = label
+
+    def finish(self, status: str) -> None:
+        self.status = status
+        self.flush()
+
+    def flush(self) -> None:
+        payload = {
+            "version": __version__,
+            "total": self.total,
+            "completed": dict(sorted(self.completed.items())),
+            "status": self.status,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+        os.replace(tmp, self.path)
 
 
 class SweepRunner:
@@ -367,11 +483,32 @@ class SweepRunner:
     cache:
         ``None`` (default, no caching), a directory path, or a
         :class:`ResultCache`.  Cached tasks are skipped entirely; fresh
-        results are written back after the pool drains.
+        results are written back *as they complete*, so a killed sweep
+        keeps everything it finished.
     chunk_size:
         Tasks per pool submission.  Defaults to roughly eight chunks per
         worker (so small sweeps submit single tasks), trading a little
         pickle overhead for minimal tail skew when task durations vary.
+    timeout:
+        Seconds allowed *per task* before its chunk is treated like a
+        dead worker (``None``, the default, waits forever).  A chunk of
+        ``k`` tasks gets ``k * timeout``.
+    retries:
+        How many times a chunk whose worker died (or timed out) is
+        resubmitted to a freshly spawned pool before the sweep gives up
+        with a :class:`SweepTaskError`.  Retries rerun the same tasks
+        with the same seeds, so a transient death (OOM kill, node blip)
+        still yields bit-identical results.  Exceptions *raised by the
+        task function* are deterministic and never retried.
+    retry_backoff:
+        Base of the deterministic exponential backoff between retries:
+        attempt ``a`` sleeps ``retry_backoff * 2**(a - 1)`` seconds.
+    manifest:
+        Path of a JSON checkpoint rewritten after every task completion
+        (requires ``cache``; see :class:`_SweepManifest`).  On
+        ``KeyboardInterrupt`` the manifest is flushed with status
+        ``interrupted`` and the interrupt re-raised, so a ^C'd sweep can
+        be resumed by simply rerunning it.
     """
 
     def __init__(
@@ -379,11 +516,21 @@ class SweepRunner:
         workers: int = 1,
         cache: CacheLike = None,
         chunk_size: Optional[int] = None,
+        timeout: Optional[float] = None,
+        retries: int = 2,
+        retry_backoff: float = 0.5,
+        manifest: Union[None, str, Path] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be >= 1 when given")
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive when given")
+        if retries < 0:
+            raise ValueError("retries cannot be negative")
+        if retry_backoff < 0:
+            raise ValueError("retry_backoff cannot be negative")
         self.workers = int(workers)
         self.cache: Optional[ResultCache]
         if cache is None or isinstance(cache, ResultCache):
@@ -391,59 +538,204 @@ class SweepRunner:
         else:
             self.cache = ResultCache(cache)
         self.chunk_size = chunk_size
+        self.timeout = timeout
+        self.retries = int(retries)
+        self.retry_backoff = float(retry_backoff)
+        if manifest is not None and self.cache is None:
+            raise ValueError(
+                "manifest requires a cache (the manifest records progress; "
+                "the cache holds the completed results a resume replays)"
+            )
+        self.manifest_path = None if manifest is None else Path(manifest)
 
     def map(self, tasks: Iterable[SweepTask]) -> List[Any]:
         """Execute every task; returns results in task order."""
         task_list = list(tasks)
         results: List[Any] = [None] * len(task_list)
         pending: List[int] = []
+        manifest: Optional[_SweepManifest] = None
+        if self.manifest_path is not None:
+            manifest = _SweepManifest(self.manifest_path, len(task_list))
         if self.cache is not None:
             for index, task in enumerate(task_list):
                 hit, value = self.cache.get(task)
                 if hit:
                     results[index] = value
+                    if manifest is not None:
+                        manifest.mark(self.cache.key_for(task), task.label)
                 else:
                     pending.append(index)
         else:
             pending = list(range(len(task_list)))
+        if manifest is not None:
+            manifest.flush()
 
-        if pending:
-            if self.workers == 1 or len(pending) == 1:
-                computed = [
-                    task_list[index].fn(**dict(task_list[index].kwargs))
-                    for index in pending
-                ]
-            else:
-                computed = self._map_parallel([task_list[i] for i in pending])
-            for index, value in zip(pending, computed):
-                if self.cache is not None:
-                    value = self.cache.put(task_list[index], value)
-                results[index] = value
+        def complete(position: int, value: Any) -> None:
+            # Runs in the parent as each task result arrives: write the
+            # cache entry immediately (crash durability) and checkpoint.
+            index = pending[position]
+            task = task_list[index]
+            if self.cache is not None:
+                value = self.cache.put(task, value)
+                if manifest is not None:
+                    manifest.mark(self.cache.key_for(task), task.label)
+                    manifest.flush()
+            results[index] = value
+
+        try:
+            if pending:
+                subset = [task_list[i] for i in pending]
+                if self.workers == 1 or len(pending) == 1:
+                    for position, task in enumerate(subset):
+                        complete(position, self._run_inline(task))
+                else:
+                    self._map_parallel(subset, complete)
+        except KeyboardInterrupt:
+            if manifest is not None:
+                manifest.finish("interrupted")
+            raise
+        except BaseException:
+            if manifest is not None:
+                manifest.finish("failed")
+            raise
+        if manifest is not None:
+            manifest.finish("complete")
         return results
 
-    def _map_parallel(self, tasks: Sequence[SweepTask]) -> List[Any]:
-        """Chunked submission over a spawn pool, ordered aggregation.
+    def _run_inline(self, task: SweepTask) -> Any:
+        """Run one task in-process, wrapping failures like a worker would."""
+        try:
+            return task.fn(**dict(task.kwargs))
+        except Exception as exc:
+            name = task.label or getattr(task.fn, "__qualname__", repr(task.fn))
+            raise SweepTaskError(
+                f"sweep task {name!r} (seed={task.kwargs.get('seed')!r}) "
+                f"raised {exc!r}",
+                label=task.label,
+                seed=task.kwargs.get("seed"),
+                key=self.cache.key_for(task) if self.cache is not None else None,
+            ) from exc
+
+    def _map_parallel(
+        self,
+        tasks: Sequence[SweepTask],
+        complete: Callable[[int, Any], None],
+    ) -> None:
+        """Chunked submission over a spawn pool, ordered completion.
 
         Workers can import :mod:`repro` even when the parent added
         ``src/`` to ``sys.path`` at runtime: ``spawn`` forwards the
         parent's ``sys.path`` in its process preparation data.
+
+        Resilience: a chunk whose worker dies (``BrokenProcessPool``) or
+        exceeds its timeout is resubmitted -- up to ``retries`` times
+        with deterministic exponential backoff -- to a *freshly spawned*
+        pool (a broken pool is unusable, and a hung worker must be
+        killed).  Chunks that already finished are harvested first, so
+        no completed work is recomputed; the retried tasks rerun with
+        their original seeds, keeping results bit-identical.
         """
         workers = min(self.workers, len(tasks))
         # Fine default granularity (~8 chunks per worker, so small sweeps
         # get chunk=1): task durations vary across a sweep, and the tail
         # skew of a coarse chunk costs more than the per-submission pickle.
         chunk = self.chunk_size or max(1, len(tasks) // (workers * 8))
-        payloads = [
-            [(task.fn, dict(task.kwargs)) for task in tasks[lo : lo + chunk]]
-            for lo in range(0, len(tasks), chunk)
+        bounds = [
+            (lo, min(lo + chunk, len(tasks))) for lo in range(0, len(tasks), chunk)
         ]
+        finished: Set[int] = set()
+        attempts = [0] * len(bounds)
         context = multiprocessing.get_context("spawn")
-        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-            futures = [pool.submit(_run_chunk, payload) for payload in payloads]
-            out: List[Any] = []
-            for future in futures:  # submission order == task order
-                out.extend(future.result())
-        return out
+
+        def harvest(futures: Dict[int, Any], skip: int = -1) -> None:
+            """Collect every already-finished chunk before a respawn."""
+            for cj, future in futures.items():
+                if cj in finished or cj == skip:
+                    continue
+                if not future.done() or future.cancelled():
+                    continue
+                try:
+                    values = future.result(timeout=0)
+                except Exception:
+                    continue  # its own turn will classify the failure
+                lo, _hi = bounds[cj]
+                for offset, value in enumerate(values):
+                    complete(lo + offset, value)
+                finished.add(cj)
+
+        while len(finished) < len(bounds):
+            remaining = [ci for ci in range(len(bounds)) if ci not in finished]
+            pool = ProcessPoolExecutor(
+                max_workers=min(workers, len(remaining)), mp_context=context
+            )
+            retry_delay = 0.0
+            try:
+                futures = {}
+                for ci in remaining:
+                    lo, hi = bounds[ci]
+                    payload = [
+                        (task.fn, dict(task.kwargs), task.label)
+                        for task in tasks[lo:hi]
+                    ]
+                    futures[ci] = pool.submit(_run_chunk, payload)
+                for ci in remaining:  # submission order == task order
+                    lo, hi = bounds[ci]
+                    chunk_timeout = (
+                        None if self.timeout is None else self.timeout * (hi - lo)
+                    )
+                    try:
+                        values = futures[ci].result(timeout=chunk_timeout)
+                    except SweepTaskError as exc:
+                        # The task *function* raised: deterministic, no
+                        # retry.  Attach the cache key now that we are
+                        # back in the parent.
+                        if exc.key is None and self.cache is not None:
+                            exc.key = next(
+                                (
+                                    self.cache.key_for(task)
+                                    for task in tasks[lo:hi]
+                                    if task.label == exc.label
+                                ),
+                                None,
+                            )
+                        raise
+                    except (BrokenProcessPool, FuturesTimeoutError) as exc:
+                        harvest(futures, skip=ci)
+                        attempts[ci] += 1
+                        if attempts[ci] > self.retries:
+                            first = tasks[lo]
+                            name = first.label or first.fn.__qualname__
+                            kind = (
+                                "timed out"
+                                if isinstance(exc, FuturesTimeoutError)
+                                else "worker died"
+                            )
+                            raise SweepTaskError(
+                                f"sweep chunk starting at task {name!r} "
+                                f"(seed={first.kwargs.get('seed')!r}) {kind} "
+                                f"{attempts[ci]} times; giving up",
+                                label=first.label,
+                                seed=first.kwargs.get("seed"),
+                                key=(
+                                    self.cache.key_for(first)
+                                    if self.cache is not None
+                                    else None
+                                ),
+                            ) from exc
+                        retry_delay = self.retry_backoff * 2 ** (attempts[ci] - 1)
+                        break  # respawn the pool for the survivors
+                    for offset, value in enumerate(values):
+                        complete(lo + offset, value)
+                    finished.add(ci)
+            except KeyboardInterrupt:
+                # Graceful ^C: keep everything that already finished (the
+                # cache/manifest callbacks run in harvest), then re-raise.
+                harvest(futures)
+                raise
+            finally:
+                pool.shutdown(wait=False, cancel_futures=True)
+            if retry_delay > 0 and len(finished) < len(bounds):
+                time.sleep(retry_delay)
 
 
 def run_sweep(
@@ -452,6 +744,18 @@ def run_sweep(
     workers: int = 1,
     cache: CacheLike = None,
     chunk_size: Optional[int] = None,
+    timeout: Optional[float] = None,
+    retries: int = 2,
+    retry_backoff: float = 0.5,
+    manifest: Union[None, str, Path] = None,
 ) -> List[Any]:
     """Functional shortcut: build a :class:`SweepRunner` and map ``tasks``."""
-    return SweepRunner(workers=workers, cache=cache, chunk_size=chunk_size).map(tasks)
+    return SweepRunner(
+        workers=workers,
+        cache=cache,
+        chunk_size=chunk_size,
+        timeout=timeout,
+        retries=retries,
+        retry_backoff=retry_backoff,
+        manifest=manifest,
+    ).map(tasks)

@@ -45,6 +45,9 @@ __all__ = [
     "ROUNDS",
     "POPULATION",
     "TELEMETRY_POLL",
+    "FAULT_LOSS",
+    "FAULT_CRASH",
+    "FAULT_PARTITION",
     "DYNAMIC_PREFIXES",
     "registered_names",
     "is_registered",
@@ -112,6 +115,13 @@ ROUNDS = "rounds"
 POPULATION = "population"
 #: Observer peer-poll sampling (which peers a measurer contacts).
 TELEMETRY_POLL = "telemetry-poll"
+#: Per-round message/transfer loss draws of the fault layer
+#: (:mod:`repro.bittorrent.faults`).
+FAULT_LOSS = "fault-loss"
+#: Crash-victim selection of scheduled peer-crash fault events.
+FAULT_CRASH = "fault-crash"
+#: Partition-group assignment during network-partition fault windows.
+FAULT_PARTITION = "fault-partition"
 
 
 REGISTRY: Mapping[str, StreamSpec] = {
@@ -195,6 +205,27 @@ REGISTRY: Mapping[str, StreamSpec] = {
             False,
             "observer poll sampling; engine-agnostic by construction, so it "
             "is consumed outside both engine trees",
+        ),
+        StreamSpec(
+            FAULT_LOSS,
+            "bittorrent",
+            True,
+            "per-round Bernoulli loss draws over the planned transfer pairs "
+            "(one batch per faulty round, sorted pid-pair order)",
+        ),
+        StreamSpec(
+            FAULT_CRASH,
+            "bittorrent",
+            True,
+            "crash-victim selection: one choice batch per scheduled crash "
+            "event, drawn over the sorted alive non-seed peers",
+        ),
+        StreamSpec(
+            FAULT_PARTITION,
+            "bittorrent",
+            True,
+            "partition-group assignment: one integer batch per round of a "
+            "partition window, over the peers not yet assigned a side",
         ),
     )
 }

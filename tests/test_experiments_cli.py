@@ -8,6 +8,7 @@ import pytest
 from repro import experiments
 from repro import cli
 from repro.cli import build_parser, main
+from repro.sim.parallel import SweepTaskError
 
 
 class TestFigureDrivers:
@@ -129,6 +130,31 @@ class TestFigureDrivers:
             leechers=15, rounds=25, piece_count=60, seed=4
         )
         assert metrics != plain
+
+    def test_fault_sweep_rejects_bad_arguments(self):
+        with pytest.raises(ValueError, match="repetitions"):
+            experiments.fault_sweep_experiment(repetitions=0)
+        with pytest.raises(ValueError, match="outage_start"):
+            experiments.fault_sweep_experiment(outage_start=0)
+        with pytest.raises(ValueError, match="at least one"):
+            experiments.fault_sweep_experiment(outages=())
+        with pytest.raises(ValueError, match="negative"):
+            experiments.fault_sweep_experiment(outages=(-1, 2))
+
+    def test_fault_sweep_outage_changes_dynamics(self):
+        table = experiments.fault_sweep_experiment(
+            leechers=12, rounds=24, piece_count=60, seed=3,
+            outages=(0, 8), outage_start=2, engine="fast",
+        )["curves"]
+        assert list(table["outage_rounds"]) == [0.0, 8.0]
+        # Arrival counts are pure scenario draws, untouched by the outage;
+        # the outage bites through *who* the queued arrivals meet, which
+        # shows up in the trading structure.
+        assert table["arrivals"][0] == table["arrivals"][1]
+        assert (
+            table["stratification_index"][0]
+            != table["stratification_index"][1]
+        )
 
     def test_behavior_sweep_curves(self):
         series = experiments.behavior_sweep_experiment(
@@ -285,6 +311,56 @@ class TestCLIBehaviorFlag:
         assert "stratification_index" in out
 
 
+class TestCLIFaultsFlag:
+    def test_parser_accepts_faults(self):
+        parser = build_parser()
+        args = parser.parse_args(["swarm", "--faults", "split-brain"])
+        assert args.faults == "split-brain"
+        assert parser.parse_args(["swarm"]).faults is None
+
+    def test_unknown_faults_preset_rejected_with_names(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["swarm", "--faults", "chaos"])
+        err = capsys.readouterr().err
+        assert "chaos" in err
+        assert "split-brain" in err and "lossy" in err
+
+    def test_bad_faults_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["swarm", "--faults", "loss:plenty"])
+
+    def test_faults_threaded_to_swarm_experiment(self, capsys, monkeypatch):
+        seen = {}
+        original = experiments.swarm_stratification_experiment
+
+        def spy(*, seed=0, engine="reference", scenario=None, faults=None):
+            seen.update(faults=faults)
+            return original(
+                leechers=12, rounds=10, piece_count=30,
+                seed=seed, engine=engine, scenario=scenario, faults=faults,
+            )
+
+        monkeypatch.setitem(cli._EXPERIMENTS, "swarm", spy)
+        assert main(["swarm", "--faults", "outage:3+2"]) == 0
+        assert seen == {"faults": "outage:3+2"}
+        assert "stratification_index" in capsys.readouterr().out
+
+    def test_fault_sweep_runs_from_cli(self, capsys, monkeypatch):
+        def small(*, seed=0, engine="reference", scenario="poisson",
+                  workers=1, cache=None):
+            return experiments.fault_sweep_experiment(
+                leechers=10, rounds=16, piece_count=40, seed=seed,
+                engine=engine, scenario=scenario, outages=(0, 4),
+                outage_start=3, workers=workers, cache=cache,
+            )
+
+        monkeypatch.setitem(cli._EXPERIMENTS, "fault-sweep", small)
+        assert main(["fault-sweep", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "outage_rounds" in out
+        assert "stratification_index" in out
+
+
 class TestCLIObserveFlags:
     def test_parser_accepts_observe_and_scrape_interval(self):
         parser = build_parser()
@@ -389,15 +465,19 @@ class TestCLIEngineFlag:
             raise Reached
 
         monkeypatch.setattr(fast_dynamics.FastConvergenceSimulator, "run", boom)
-        with pytest.raises(Reached):
+        # Sweep-driven experiments wrap task failures in SweepTaskError
+        # (naming the failed point); the sentinel survives as the cause.
+        with pytest.raises(SweepTaskError) as info:
             main(["figure1", "--engine", "fast"])
+        assert isinstance(info.value.__cause__, Reached)
         # The churn command threads the flag too (its fast path runs
         # through the churn-specific array engine, not the simulator).
         from repro.core import churn as churn_module
 
         monkeypatch.setattr(churn_module._FastChurnEngine, "refresh", boom)
-        with pytest.raises(Reached):
+        with pytest.raises(SweepTaskError) as info:
             main(["figure3", "--engine", "fast"])
+        assert isinstance(info.value.__cause__, Reached)
 
     def test_engine_flag_ignored_by_engineless_experiments(self, capsys):
         # figure7 is purely analytical; the flag must not break it.

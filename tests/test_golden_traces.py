@@ -166,6 +166,26 @@ SWARM_TRACES = {
         "scenario": "flashcrowd",
         "seed": 107,
     },
+    # Fault traces: slow configs (low seed bandwidth, many pieces) so the
+    # fault windows open while the swarm is still mid-download.
+    "swarm_tracker_outage": {
+        "config": dict(
+            leechers=10, seeds=1, piece_count=60, rounds=14,
+            start_completion=0.3, announce_size=6,
+            seed_upload_kbps=300.0, faults="outage:3+4,loss:0.05",
+        ),
+        "scenario": "poisson",
+        "seed": 108,
+    },
+    "swarm_partition_crash": {
+        "config": dict(
+            leechers=8, seeds=1, piece_count=60, rounds=14,
+            start_completion=0.4, announce_size=5,
+            seed_upload_kbps=300.0, faults="partition:2+5/2,crash:3@4~4",
+        ),
+        "scenario": "flashcrowd",
+        "seed": 109,
+    },
 }
 
 TELEMETRY_TRACES = {

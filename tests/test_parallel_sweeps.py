@@ -19,6 +19,10 @@ figure1 / figure6 / swarm sweep families.
 from __future__ import annotations
 
 import json
+import os
+import signal
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -37,6 +41,7 @@ from repro.sim.parallel import (
     SeedTree,
     SweepRunner,
     SweepTask,
+    SweepTaskError,
     canonical_json,
     run_sweep,
 )
@@ -46,6 +51,47 @@ from repro.sim.random_source import RandomSource
 def _echo_point(value: int, seed: int, engine: str = "reference") -> dict:
     """A trivial module-level task function (picklable, deterministic)."""
     return {"value": value * 2, "seed": seed, "engine": engine}
+
+
+def _explode_on_three(value: int, seed: int) -> dict:
+    """Deterministic task failure: value 3 always raises."""
+    if value == 3:
+        raise ValueError(f"boom value={value}")
+    return {"value": value * 2, "seed": seed}
+
+
+def _kill_worker_once(value: int, seed: int, sentinel: str) -> dict:
+    """SIGKILL the hosting worker the first time the sentinel is absent.
+
+    Models an OOM-killed / crashed worker: the pool breaks, the retried
+    task (sentinel now present) succeeds with the same deterministic
+    output.
+    """
+    if value == 3:
+        path = Path(sentinel)
+        if not path.exists():
+            try:
+                path.write_text("died once")
+            except OSError:
+                pass  # unwritable sentinel: the worker dies on every attempt
+            os.kill(os.getpid(), signal.SIGKILL)
+    return {"value": value * 2, "seed": seed}
+
+
+def _interrupt_once(value: int, seed: int, sentinel: str) -> dict:
+    """Raise KeyboardInterrupt (a ^C) the first time value 3 is reached."""
+    if value == 3:
+        path = Path(sentinel)
+        if not path.exists():
+            path.write_text("interrupted once")
+            raise KeyboardInterrupt
+    return {"value": value * 2, "seed": seed}
+
+
+def _sleep_forever(value: int, seed: int) -> dict:
+    """A hung task: sleeps far longer than any test timeout."""
+    time.sleep(2.0)
+    return {"value": value * 2, "seed": seed}
 
 
 def _series_equal(a: dict, b: dict) -> bool:
@@ -266,6 +312,161 @@ class TestSweepRunner:
     def test_pool_matches_serial_on_plain_tasks(self):
         tasks = [SweepTask(_echo_point, dict(value=v, seed=v)) for v in range(7)]
         assert run_sweep(tasks) == run_sweep(tasks, workers=2, chunk_size=2)
+
+
+class TestSweepRobustness:
+    """Worker death, hung tasks, corrupt cache entries, interrupted sweeps."""
+
+    def _tasks(self, fn=_echo_point, count=6, **extra):
+        return [
+            SweepTask(fn, dict(value=v, seed=v, **extra), label=f"cell{v}")
+            for v in range(count)
+        ]
+
+    def test_inline_failure_names_the_task(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with pytest.raises(SweepTaskError) as info:
+            run_sweep(self._tasks(_explode_on_three), cache=cache)
+        err = info.value
+        assert err.label == "cell3" and err.seed == 3
+        assert err.key is not None and "boom value=3" in str(err)
+        assert isinstance(err.__cause__, ValueError)
+
+    def test_pool_failure_names_the_task(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with pytest.raises(SweepTaskError) as info:
+            run_sweep(
+                self._tasks(_explode_on_three),
+                workers=2,
+                chunk_size=1,
+                cache=cache,
+            )
+        err = info.value
+        # The error crossed a process boundary: the cause repr is folded
+        # into the message, the task identity survives as attributes.
+        assert err.label == "cell3" and err.seed == 3
+        assert err.key is not None and "boom value=3" in str(err)
+
+    def test_sweep_task_error_survives_pickling(self):
+        import pickle
+
+        err = SweepTaskError("msg", label="cell1", seed=9, key="abc")
+        clone = pickle.loads(pickle.dumps(err))
+        assert isinstance(clone, SweepTaskError)
+        assert (clone.label, clone.seed, clone.key) == ("cell1", 9, "abc")
+        assert str(clone) == "msg"
+
+    def test_corrupt_entry_quarantined_to_dot_corrupt(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        task = SweepTask(_echo_point, dict(value=1, seed=1))
+        cache.put(task, {"value": 2})
+        path = cache._path(cache.key_for(task))
+        path.write_text("{truncated")
+        hit, _ = cache.get(task)
+        assert not hit
+        quarantined = path.with_suffix(".corrupt")
+        assert quarantined.exists()
+        assert quarantined.read_text() == "{truncated"
+        assert not path.exists()
+        # The recompute writes a clean entry alongside the quarantined one.
+        cache.put(task, {"value": 2})
+        hit, value = cache.get(task)
+        assert hit and value == {"value": 2}
+
+    def test_missing_entry_not_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        task = SweepTask(_echo_point, dict(value=1, seed=1))
+        hit, _ = cache.get(task)
+        assert not hit
+        assert not list(cache.directory.rglob("*.corrupt"))
+
+    def test_worker_sigkill_respawns_and_matches_serial(self, tmp_path):
+        """A SIGKILLed worker breaks the pool; the respawn completes the
+        sweep byte-identical to an uninterrupted workers=1 run."""
+        sentinel = tmp_path / "died"
+        tasks = self._tasks(_kill_worker_once, sentinel=str(sentinel))
+        manifest = tmp_path / "manifest.json"
+        recovered = run_sweep(
+            tasks,
+            workers=2,
+            chunk_size=1,
+            retries=2,
+            retry_backoff=0.0,
+            cache=tmp_path / "cache",
+            manifest=manifest,
+        )
+        assert sentinel.exists()  # the kill really happened
+        payload = json.loads(manifest.read_text())
+        assert payload["status"] == "complete"
+        assert len(payload["completed"]) == payload["total"] == len(tasks)
+        # Uninterrupted serial reference (sentinel present: no more kills).
+        serial = run_sweep(tasks, workers=1, cache=tmp_path / "serial-cache")
+        assert recovered == serial
+
+    def test_worker_death_exhausts_retries(self, tmp_path):
+        always_dead = tmp_path / "nonexistent-dir" / "sentinel"
+        tasks = self._tasks(_kill_worker_once, sentinel=str(always_dead))
+        with pytest.raises(SweepTaskError, match="worker died"):
+            run_sweep(
+                tasks, workers=2, chunk_size=1, retries=1, retry_backoff=0.0
+            )
+
+    def test_timeout_treated_as_dead_worker(self):
+        tasks = self._tasks(_sleep_forever, count=2)
+        with pytest.raises(SweepTaskError, match="timed out"):
+            run_sweep(
+                tasks,
+                workers=2,
+                chunk_size=1,
+                timeout=0.25,
+                retries=0,
+                retry_backoff=0.0,
+            )
+
+    def test_keyboard_interrupt_checkpoints_and_resumes(self, tmp_path):
+        """A ^C'd sweep flushes its manifest; rerunning resumes from the
+        cache and ends byte-identical to an uninterrupted run."""
+        sentinel = tmp_path / "interrupted"
+        tasks = self._tasks(_interrupt_once, sentinel=str(sentinel))
+        manifest = tmp_path / "manifest.json"
+        cache_dir = tmp_path / "cache"
+        with pytest.raises(KeyboardInterrupt):
+            run_sweep(tasks, cache=cache_dir, manifest=manifest)
+        payload = json.loads(manifest.read_text())
+        assert payload["status"] == "interrupted"
+        completed_before = len(payload["completed"])
+        assert 0 < completed_before < len(tasks)  # tasks 0..2 landed
+        # Resume: same sweep, same cache -- completed work replays.
+        cache = ResultCache(cache_dir)
+        resumed = run_sweep(tasks, cache=cache, manifest=manifest)
+        assert cache.hits == completed_before
+        payload = json.loads(manifest.read_text())
+        assert payload["status"] == "complete"
+        assert len(payload["completed"]) == len(tasks)
+        serial = run_sweep(tasks, workers=1, cache=tmp_path / "serial-cache")
+        assert resumed == serial
+
+    def test_manifest_requires_cache(self, tmp_path):
+        with pytest.raises(ValueError, match="manifest requires a cache"):
+            SweepRunner(manifest=tmp_path / "manifest.json")
+
+    def test_failed_sweep_marks_manifest(self, tmp_path):
+        manifest = tmp_path / "manifest.json"
+        with pytest.raises(SweepTaskError):
+            run_sweep(
+                self._tasks(_explode_on_three),
+                cache=tmp_path / "cache",
+                manifest=manifest,
+            )
+        assert json.loads(manifest.read_text())["status"] == "failed"
+
+    def test_rejects_bad_robustness_parameters(self):
+        with pytest.raises(ValueError):
+            SweepRunner(timeout=0)
+        with pytest.raises(ValueError):
+            SweepRunner(retries=-1)
+        with pytest.raises(ValueError):
+            SweepRunner(retry_backoff=-0.1)
 
 
 class TestSweepDeterminism:

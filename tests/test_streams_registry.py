@@ -60,6 +60,9 @@ def test_domains_and_pairing_are_consistent() -> None:
         streams.TRACKER,
         streams.SCENARIO,
         streams.ROUNDS,
+        streams.FAULT_LOSS,
+        streams.FAULT_CRASH,
+        streams.FAULT_PARTITION,
     }
     for spec in streams.REGISTRY.values():
         assert spec.description, f"{spec.name} needs a description"

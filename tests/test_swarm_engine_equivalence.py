@@ -31,6 +31,7 @@ from repro.bittorrent.fast.bitfields import BitfieldMatrix
 from repro.bittorrent.fast.choking import batched_regular_slots
 from repro.bittorrent.fast.swarm import FastSwarmSimulator
 from repro.bittorrent.fast.tracker import FastTracker
+from repro.bittorrent.faults import FAULT_PRESET_NAMES, FaultEvent, FaultSchedule
 from repro.bittorrent.scenarios import (
     ARRIVAL_PROCESSES,
     DEPARTURE_POLICIES,
@@ -526,6 +527,148 @@ class TestBehaviorEquivalence:
         run_both(config, seed=seed, scenario=scenario)
 
 
+@st.composite
+def fault_schedules(draw) -> FaultSchedule:
+    """Valid FaultSchedules: any subset of the four fault kinds."""
+    events = []
+    if draw(st.booleans()):
+        events.append(
+            FaultEvent(
+                kind="outage",
+                start=draw(st.integers(min_value=1, max_value=8)),
+                rounds=draw(st.integers(min_value=1, max_value=4)),
+            )
+        )
+    if draw(st.booleans()):
+        events.append(
+            FaultEvent(
+                kind="loss",
+                start=draw(st.integers(min_value=1, max_value=6)),
+                rounds=draw(st.sampled_from([0, 3, 6])),
+                rate=draw(st.sampled_from([0.02, 0.1, 0.5])),
+            )
+        )
+    if draw(st.booleans()):
+        events.append(
+            FaultEvent(
+                kind="crash",
+                start=draw(st.integers(min_value=2, max_value=8)),
+                count=draw(st.integers(min_value=1, max_value=4)),
+                rejoin_after=draw(st.sampled_from([0, 1, 3])),
+            )
+        )
+    if draw(st.booleans()):
+        events.append(
+            FaultEvent(
+                kind="partition",
+                start=draw(st.integers(min_value=1, max_value=8)),
+                rounds=draw(st.integers(min_value=1, max_value=4)),
+                groups=draw(st.sampled_from([2, 3])),
+            )
+        )
+    return FaultSchedule(events=tuple(events))
+
+
+class TestFaultEquivalence:
+    """Every fault scenario must be bit-identical across engines."""
+
+    # Slow enough (600 pieces against a 300 kbps seed) that the swarm is
+    # still incomplete when the mid-run fault windows open; a too-easy
+    # config drains before round 5 and every fault becomes a no-op.
+    BASE = dict(
+        leechers=20,
+        seeds=2,
+        piece_count=600,
+        rounds=20,
+        start_completion=0.3,
+        seed_upload_kbps=300.0,
+    )
+
+    def test_trivial_schedule_matches_no_faults(self):
+        """An empty FaultSchedule draws nothing: byte-identical to faults=None."""
+        plain, _ = run_both(SwarmConfig(**self.BASE), seed=101)
+        gated, _ = run_both(
+            SwarmConfig(faults=FaultSchedule(), **self.BASE), seed=101
+        )
+        assert_results_identical(plain, gated)
+
+    @pytest.mark.parametrize("preset", FAULT_PRESET_NAMES)
+    def test_fault_presets(self, preset):
+        config = SwarmConfig(faults=preset, **self.BASE)
+        run_both(config, seed=103, scenario="poisson")
+
+    def test_outage_with_arrivals(self):
+        """Arrivals during the outage queue their announces and back off."""
+        config = SwarmConfig(faults="outage:3+5", **self.BASE)
+        reference, _ = run_both(config, seed=107, scenario="poisson")
+        assert reference.arrivals > 0
+
+    def test_crash_with_rejoin(self):
+        """Crashed peers vanish with their bitfields and return intact."""
+        config = SwarmConfig(faults="crash:4@5~3", **self.BASE)
+        reference, _ = run_both(config, seed=109)
+        # Everyone is back by the end: a rejoin clears departed_round.
+        assert all(p.departed_round is None for p in reference.peers.values())
+
+    def test_crash_without_rejoin(self):
+        config = SwarmConfig(faults="crash:4@5", **self.BASE)
+        reference, _ = run_both(config, seed=113)
+        crashed = [
+            p for p in reference.peers.values() if p.departed_round is not None
+        ]
+        assert len(crashed) == 4
+        # A crash scrubs live connections but keeps the bitfield.
+        assert all(not p.neighbors for p in crashed)
+        assert all(p.bitfield.count() > 0 for p in crashed)
+
+    def test_partition_with_loss(self):
+        config = SwarmConfig(faults="partition:4+6/2,loss:0.1", **self.BASE)
+        run_both(config, seed=127)
+
+    def test_kitchen_sink_under_churn(self):
+        config = SwarmConfig(
+            faults="outage:3+3,loss:0.05,crash:3@6~2,partition:8+3/2",
+            **self.BASE,
+        )
+        for name in SCENARIO_NAMES:
+            run_both(config, seed=131, scenario=name)
+
+    @pytest.mark.slow
+    @_settings
+    @given(
+        faults=fault_schedules(),
+        scenario=scenario_schedules(),
+        leechers=st.integers(min_value=4, max_value=16),
+        seeds=st.integers(min_value=0, max_value=2),
+        piece_count=st.integers(min_value=8, max_value=40),
+        rounds=st.integers(min_value=2, max_value=14),
+        start_completion=st.sampled_from([0.0, 0.3, 0.7]),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_fault_equivalence_property(
+        self,
+        faults,
+        scenario,
+        leechers,
+        seeds,
+        piece_count,
+        rounds,
+        start_completion,
+        seed,
+    ):
+        """fast == reference bit-for-bit over fault schedules x scenarios."""
+        config = SwarmConfig(
+            leechers=leechers,
+            seeds=seeds,
+            piece_count=piece_count,
+            rounds=rounds,
+            start_completion=start_completion,
+            announce_size=5,
+            faults=faults,
+        )
+        run_both(config, seed=seed, scenario=scenario)
+
+
 class TestSwarmDeterminism:
     def test_same_seed_same_result_reference(self):
         config = SwarmConfig(leechers=15, seeds=1, piece_count=40, rounds=15)
@@ -640,12 +783,19 @@ class TestFastComponents:
             assert ref_contacts == [int(x) for x in fast_contacts]
         assert fast.swarm_size == reference.swarm_size == 29
 
-    def test_fast_tracker_rejects_gaps(self):
+    def test_fast_tracker_gap_announce_matches_reference(self):
+        # A gap in the id sequence (an announce delayed by outage
+        # backoff) drops the fast tracker to the dynamic regime; the
+        # draws stay id-for-id identical with the reference.
+        reference = Tracker(announce_size=3)
         fast = FastTracker(announce_size=3)
-        rng = np.random.default_rng(0)
-        fast.announce(1, rng)
-        with pytest.raises(ValueError):
-            fast.announce(5, rng)
+        ref_rng = RandomSource(23).stream("tracker")
+        fast_rng = RandomSource(23).stream("tracker")
+        for pid in (1, 5, 3, 7):
+            ref_contacts = reference.announce(pid, ref_rng)
+            fast_contacts = fast.announce(pid, fast_rng)
+            assert ref_contacts == [int(x) for x in fast_contacts]
+        assert fast.known_peers() == reference.known_peers() == [1, 3, 5, 7]
 
     def test_fast_tracker_matches_reference_under_churn(self):
         """Interleaved announces and departures stay id-for-id identical."""

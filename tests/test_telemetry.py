@@ -10,6 +10,8 @@ engine and seed.
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
@@ -37,6 +39,7 @@ from repro.sim.random_source import RandomSource
 from test_swarm_engine_equivalence import (
     assert_results_identical,
     behavior_mixes,
+    fault_schedules,
     scenario_schedules,
 )
 
@@ -466,6 +469,72 @@ class TestObserverEngineEquivalence:
         assert observed.confirmed_downloads(1.0) < observed.reported_downloads()
         assert observed.reported_downloads() <= result.completed
 
+    def test_outage_leaves_gap_in_scrape_series(self):
+        """Failed scrapes are absent samples; the schedule itself survives."""
+        config = _observed_config()
+        runs = {}
+        for engine in ("reference", "fast"):
+            runs[engine] = SwarmSimulator(
+                dataclasses.replace(config, faults="outage:3+4"),
+                seed=11,
+                engine=engine,
+                scenario="poisson",
+                observer=ObserverConfig(scrape_interval=1, poll_interval=2),
+            ).run()
+        observed = runs["reference"].observed
+        scraped = {s.round for s in observed.scrapes}
+        assert scraped.isdisjoint({3, 4, 5, 6}), scraped
+        assert 2 in scraped and 7 in scraped  # resumes right after recovery
+        # Poll sweeps keep running against the already-met roster.
+        assert any(r in (3, 5) for r in observed.poll_rounds)
+        assert runs["reference"].observed == runs["fast"].observed
+
+    def test_bound_chain_survives_outage(self):
+        """confirmed(1.0) <= reported <= true even when scrapes were missed."""
+        result = SwarmSimulator(
+            dataclasses.replace(_observed_config(), faults="outage:3+4"),
+            seed=11,
+            scenario="poisson",
+            observer=ObserverConfig(poll_interval=1, scrape_interval=1),
+        ).run()
+        observed = result.observed
+        assert observed.scrapes
+        assert (
+            observed.confirmed_downloads(1.0)
+            <= observed.reported_downloads()
+            <= result.completed
+        )
+
+    def test_crashed_peer_poll_times_out(self):
+        """A crashed peer's stale tracker entry yields no poll sample."""
+        config = dataclasses.replace(
+            _observed_config(),
+            piece_count=200,
+            seed_upload_kbps=300.0,
+            faults="crash:3@4",
+        )
+        runs = {}
+        for engine in ("reference", "fast"):
+            result = SwarmSimulator(
+                config,
+                seed=13,
+                engine=engine,
+                observer=ObserverConfig(scrape_interval=1, poll_interval=1),
+            ).run()
+            crashed = {
+                pid
+                for pid, peer in result.peers.items()
+                if peer.departed_round is not None
+            }
+            assert crashed, "no crash victims"
+            for pid in crashed:
+                timeline = result.observed.timelines.get(pid, [])
+                # No sample after the crash round: the peer is unreachable
+                # even though the tracker still hands out its id.
+                assert all(s.round <= 4 for s in timeline)
+            runs[engine] = result.observed
+        assert runs["reference"] == runs["fast"]
+
     def test_observer_instance_reusable_across_runs(self):
         observer = SwarmObserver(ObserverConfig(poll_interval=1))
         first = SwarmSimulator(
@@ -503,6 +572,43 @@ class TestObserverProperties:
             rounds=8,
             start_completion=0.25,
             announce_size=5,
+        )
+        unobserved = SwarmSimulator(
+            config, seed=seed, engine=engine, scenario=scenario
+        ).run()
+        observed_run = SwarmSimulator(
+            config, seed=seed, engine=engine, scenario=scenario, observer=observer
+        ).run()
+        assert_results_identical(unobserved, observed_run)
+        campaign = observed_run.observed
+        assert (
+            campaign.confirmed_downloads(1.0)
+            <= campaign.reported_downloads()
+            <= unobserved.completed
+        )
+
+    @given(
+        faults=fault_schedules(),
+        scenario=scenario_schedules(),
+        seed=st.integers(min_value=0, max_value=10_000),
+        engine=st.sampled_from(["reference", "fast"]),
+    )
+    @_settings
+    def test_observer_invisible_over_fault_scenarios(
+        self, faults, scenario, seed, engine
+    ):
+        """Observing a faulty swarm must not perturb it either."""
+        config = SwarmConfig(
+            leechers=8,
+            seeds=1,
+            piece_count=16,
+            rounds=8,
+            start_completion=0.25,
+            announce_size=5,
+            faults=faults,
+        )
+        observer = ObserverConfig(
+            scrape_interval=1, poll_interval=2, poll_budget=4
         )
         unobserved = SwarmSimulator(
             config, seed=seed, engine=engine, scenario=scenario

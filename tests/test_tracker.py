@@ -21,13 +21,38 @@ def _paired_rngs(seed: int = 0):
 
 
 class TestFastTrackerAnnounce:
-    def test_requires_strictly_increasing_ids(self):
-        tracker = FastTracker(announce_size=4)
-        tracker.announce(1, np.random.default_rng(0))
-        with pytest.raises(ValueError):
-            tracker.announce(3, np.random.default_rng(0))
-        with pytest.raises(ValueError):
-            tracker.announce(1, np.random.default_rng(0))
+    def test_out_of_order_announce_matches_reference(self):
+        # An announce delayed past a younger peer's (outage backoff)
+        # drops the fast tracker to the dynamic regime; the draw still
+        # matches the reference tracker id-for-id.
+        fast = FastTracker(announce_size=4)
+        reference = Tracker(announce_size=4)
+        fast_rng, ref_rng = _paired_rngs(3)
+        for peer_id in (1, 2, 3, 5):
+            fast_contacts = fast.announce(peer_id, fast_rng)
+            ref_contacts = reference.announce(peer_id, ref_rng)
+            assert sorted(int(c) for c in fast_contacts) == sorted(ref_contacts)
+        fast_contacts = fast.announce(4, fast_rng)
+        ref_contacts = reference.announce(4, ref_rng)
+        assert [int(c) for c in fast_contacts] == ref_contacts
+        assert fast.known_peers() == reference.known_peers() == [1, 2, 3, 4, 5]
+
+    def test_reannounce_draws_fresh_contacts_without_registration(self):
+        # A crashed peer rejoining re-announces: fresh contacts, no
+        # membership change, bit-identical across trackers.
+        fast = FastTracker(announce_size=2)
+        reference = Tracker(announce_size=2)
+        fast_rng, ref_rng = _paired_rngs(11)
+        for peer_id in range(1, 7):
+            fast.announce(peer_id, fast_rng)
+            reference.announce(peer_id, ref_rng)
+        before = fast.known_peers()
+        fast_contacts = fast.announce(2, fast_rng)
+        ref_contacts = reference.announce(2, ref_rng)
+        assert [int(c) for c in fast_contacts] == ref_contacts
+        assert 2 not in set(int(c) for c in fast_contacts)
+        assert fast.known_peers() == before
+        assert fast.swarm_size == reference.swarm_size == 6
 
     def test_rejects_nonpositive_announce_size(self):
         with pytest.raises(ValueError):
