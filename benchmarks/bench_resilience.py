@@ -1,0 +1,371 @@
+"""Resilience-layer scaling and the graceful-degradation headline.
+
+``bench_faults.py`` times the engines while the substrate fails and the
+clients sit defenseless; this benchmark arms the defenses
+(:mod:`repro.bittorrent.resilience`) and gates two claims:
+
+* **speedup** -- with multi-tracker failover, PEX gossip and
+  dead-neighbor eviction all active under an outage schedule (one total
+  blackout, one replica-targeted window, a mass crash with rejoin), the
+  fast engine keeps its >= 5x advantage at 5,000 leechers.  The
+  resilience paths are pure-Python bookkeeping plus two pinned batch
+  draws, so the claim is that they stay off the vectorized hot path.
+* **graceful degradation** -- on the ``outage-midrun`` preset the full
+  policy's mean completion round stays within 15% of the fault-free
+  baseline (the outage targets the first announce-list replica, so
+  failover absorbs it), while the defenseless swarm is the one that
+  drifts.  The off/failover/full curves land in the JSON payload.
+
+Both engines run through the public ``engine=`` switch with the same seed
+and schedule, and are bit-identical (checksummed below, resilience
+counters included), so the timed work is the same resilient swarm round
+for round.
+
+Run headlessly (writes ``BENCH_resilience.json`` in the repo root):
+
+    python benchmarks/bench_resilience.py --quick     # 1k + 5k
+    python benchmarks/bench_resilience.py             # adds the 20k showcase
+
+or through pytest: ``pytest benchmarks/bench_resilience.py -s``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+if __name__ == "__main__":  # headless invocation: make src/ importable
+    _SRC = Path(__file__).resolve().parent.parent / "src"
+    if str(_SRC) not in sys.path:
+        sys.path.insert(0, str(_SRC))
+
+import numpy as np
+
+from repro.bittorrent.swarm import (
+    SwarmConfig,
+    SwarmSimulator,
+    stratification_index,
+)
+
+SEED = 2007  # ICDCS'07
+TIMED_SIZES = (1_000, 5_000)  # both engines; full mode adds the showcase
+SHOWCASE_SIZE = 20_000  # resilient swarm, fast engine only (full mode)
+REQUIRED_SPEEDUP_AT_5K = 5.0
+GATE_SIZE = 5_000
+DEGRADATION_TOLERANCE = 0.15  # full-policy completion time vs fault-free
+
+# One total blackout (PEX gossip carries the swarm), one replica-targeted
+# window (failover absorbs it), and a mass crash with rejoin (keepalive 2
+# evicts the victims and purges their stale registrations before they
+# return), so every defense is on the timed path.
+FAULTS = "outage:3+2/all,outage:6+3/1,crash:50@4~3"
+POLICY = "trackers:3,pex:8,keepalive:2"
+SCENARIO = "poisson"  # churn makes the blackout bootstrap real arrivals
+
+# Graceful-degradation section: completion time and stratification index
+# vs outage duration at each defense level (the outage windows target the
+# preferred replica, so "off" suffers the full blackout while failover
+# absorbs it), plus the outage-midrun gate against the fault-free
+# baseline.
+DEGRADATION_LEVELS = ("off", "failover", "full")
+DEGRADATION_DURATIONS = (0, 4, 8, 16)
+DEGRADATION_OUTAGE_START = 12
+DEGRADATION_FAULTS = "outage-midrun"
+DEGRADATION_LEECHERS = 300
+
+
+def _swarm_config(
+    leechers: int,
+    faults: Optional[str],
+    resilience: Optional[str],
+    rounds: int = 10,
+    piece_count: int = 500,
+) -> SwarmConfig:
+    """The timed resilient swarm (same shape as the fault benchmark)."""
+    return SwarmConfig(
+        leechers=leechers,
+        seeds=max(3, leechers // 2_000),
+        piece_count=piece_count,
+        rounds=rounds,
+        start_completion=0.3,
+        seed_upload_kbps=5_000.0,
+        announce_size=20,
+        faults=faults,
+        resilience=resilience,
+    )
+
+
+def _checksum(result) -> Dict[str, float]:
+    """A few exact aggregates; engines diverging here invalidates the timing."""
+    stats = result.resilience
+    return {
+        "completed": result.completed,
+        "rounds_run": result.rounds_run,
+        "arrivals": result.arrivals,
+        "departures": result.departures,
+        "total_downloaded_kbit": sum(
+            p.downloaded_kbit for p in result.peers.values()
+        ),
+        "total_uploaded_kbit": sum(
+            p.uploaded_kbit for p in result.peers.values()
+        ),
+        "collaboration_pairs": len(result.collaboration_volume),
+        "tft_pairs": len(result.tft_reciprocal_rounds),
+        "replica_announces": stats.replica_announces,
+        "failover_announces": stats.failover_announces,
+        "pex_introductions": stats.pex_introductions,
+        "pex_bootstraps": stats.pex_bootstraps,
+        "evictions": stats.evictions,
+        "purges": stats.purges,
+    }
+
+
+def _time_engine(leechers: int, engine: str) -> Dict[str, object]:
+    config = _swarm_config(leechers, FAULTS, POLICY)
+    start = time.perf_counter()
+    result = SwarmSimulator(
+        config, seed=SEED, engine=engine, scenario=SCENARIO
+    ).run()
+    elapsed = time.perf_counter() - start
+    return {"seconds": elapsed, "checksum": _checksum(result)}
+
+
+def run_scaling(sizes, showcase: Optional[int] = None) -> List[Dict[str, object]]:
+    """Time both engines on the identical resilient workload at each size."""
+    rows: List[Dict[str, object]] = []
+    for leechers in sizes:
+        fast = _time_engine(leechers, "fast")
+        reference = _time_engine(leechers, "reference")
+        if reference["checksum"] != fast["checksum"]:
+            raise AssertionError(
+                f"engines diverged at leechers={leechers}: "
+                f"reference={reference['checksum']}, fast={fast['checksum']}"
+            )
+        speedup = reference["seconds"] / fast["seconds"]
+        rows.append(
+            {
+                "leechers": leechers,
+                "faults": FAULTS,
+                "resilience": POLICY,
+                "scenario": SCENARIO,
+                "reference_seconds": round(reference["seconds"], 4),
+                "fast_seconds": round(fast["seconds"], 4),
+                "speedup": round(speedup, 2),
+                "checksum": fast["checksum"],
+            }
+        )
+        print(
+            f"leechers={leechers:>7,} (resilient): reference={reference['seconds']:7.2f}s  "
+            f"fast={fast['seconds']:6.2f}s  speedup={speedup:5.1f}x  "
+            f"pex={fast['checksum']['pex_introductions']}"
+        )
+    if showcase:
+        fast = _time_engine(showcase, "fast")
+        rows.append(
+            {
+                "leechers": showcase,
+                "faults": FAULTS,
+                "resilience": POLICY,
+                "scenario": SCENARIO,
+                "reference_seconds": None,
+                "fast_seconds": round(fast["seconds"], 4),
+                "speedup": None,
+                "checksum": fast["checksum"],
+            }
+        )
+        print(
+            f"leechers={showcase:>7,} (resilient): reference=   (skipped)  "
+            f"fast={fast['seconds']:6.2f}s  (fast engine only)"
+        )
+    return rows
+
+
+def _degradation_point(faults: Optional[str], resilience: Optional[str]) -> Dict[str, object]:
+    """One fast-engine run of the degradation workload; summary metrics."""
+    config = _swarm_config(
+        DEGRADATION_LEECHERS, faults, resilience, rounds=45, piece_count=400
+    )
+    result = SwarmSimulator(
+        config, seed=SEED, engine="fast", scenario=SCENARIO
+    ).run()
+    rounds = [
+        peer.completed_round
+        for peer in result.peers.values()
+        if not peer.is_seed and peer.completed_round is not None
+    ]
+    return {
+        "faults": faults or "none",
+        "resilience": resilience or "off",
+        "completed": result.completed,
+        "mean_completion_round": (
+            round(float(np.mean(rounds)), 4) if rounds else None
+        ),
+        "stratification_index": round(stratification_index(result), 6),
+    }
+
+
+def run_degradation() -> Dict[str, object]:
+    """The graceful-degradation curves, plus the outage-midrun gate."""
+    curves: Dict[str, List[Dict[str, object]]] = {}
+    for level in DEGRADATION_LEVELS:
+        resilience = level if level != "off" else None
+        points = []
+        for duration in DEGRADATION_DURATIONS:
+            faults = (
+                None
+                if duration == 0
+                else f"outage:{DEGRADATION_OUTAGE_START}+{duration}"
+            )
+            point = _degradation_point(faults, resilience)
+            point["outage_rounds"] = duration
+            points.append(point)
+        curves[level] = points
+        print(
+            f"degradation[{level:>8}]: mean completion round "
+            + " -> ".join(
+                f"{p['mean_completion_round']}" for p in points
+            )
+            + f"  (outage {min(DEGRADATION_DURATIONS)}"
+            f"..{max(DEGRADATION_DURATIONS)} rounds)"
+        )
+    baseline = _degradation_point(None, None)
+    midrun_full = _degradation_point(DEGRADATION_FAULTS, "full")
+    ratio = (
+        midrun_full["mean_completion_round"]
+        / baseline["mean_completion_round"]
+    )
+    section = {
+        "workload": {
+            "leechers": DEGRADATION_LEECHERS,
+            "rounds": 45,
+            "piece_count": 400,
+            "outage_start": DEGRADATION_OUTAGE_START,
+            "outage_durations": list(DEGRADATION_DURATIONS),
+            "scenario": SCENARIO,
+            "seed": SEED,
+        },
+        "curves": curves,
+        "outage_midrun_gate": {
+            "fault_free": baseline,
+            "full": midrun_full,
+            "full_vs_fault_free_completion_ratio": round(ratio, 4),
+            "tolerance": DEGRADATION_TOLERANCE,
+            "within_tolerance": bool(
+                abs(ratio - 1.0) <= DEGRADATION_TOLERANCE
+            ),
+        },
+    }
+    print(
+        f"degradation gate: fault-free mean completion round "
+        f"{baseline['mean_completion_round']}, full policy under "
+        f"outage-midrun {midrun_full['mean_completion_round']} "
+        f"(ratio {ratio:.3f}, tolerance +/-{DEGRADATION_TOLERANCE:.0%})"
+    )
+    return section
+
+
+def build_payload(
+    rows: List[Dict[str, object]],
+    degradation: Dict[str, object],
+    mode: str,
+) -> Dict[str, object]:
+    """Assemble the JSON payload; the CLI and pytest paths share this shape."""
+    return {
+        "benchmark": "resilience",
+        "workload": {
+            "seeds": "max(3, leechers // 2000)",
+            "piece_count": 500,
+            "rounds": 10,
+            "start_completion": 0.3,
+            "piece_selection": "rarest-first",
+            "announce_size": 20,
+            "bandwidths": "saroiu-like mixture",
+            "faults": FAULTS,
+            "resilience": POLICY,
+            "scenario": SCENARIO,
+            "seed": SEED,
+        },
+        "mode": mode,
+        "results": rows,
+        "degradation": degradation,
+        "speedup_at_5k": next(
+            row["speedup"] for row in rows if row["leechers"] == GATE_SIZE
+        ),
+        "required_speedup_at_5k": REQUIRED_SPEEDUP_AT_5K,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-style run: 1k + 5k only (the 5x gate still applies)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="where to write the JSON result (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    showcase = None if args.quick else SHOWCASE_SIZE
+    rows = run_scaling(TIMED_SIZES, showcase)
+    degradation = run_degradation()
+
+    payload = build_payload(rows, degradation, mode="quick" if args.quick else "full")
+    speedup_at_5k = payload["speedup_at_5k"]
+    # Import here so the module also works when pytest imports it from the
+    # benchmarks directory (conftest is on the path in both invocations).
+    from conftest import write_benchmark_json
+
+    path = write_benchmark_json("resilience", payload, args.output)
+    print(f"wrote {path}")
+
+    failed = False
+    if speedup_at_5k < REQUIRED_SPEEDUP_AT_5K:
+        print(
+            f"FAIL: fast engine speedup on the resilient 5k swarm is "
+            f"{speedup_at_5k:.1f}x (required: >= {REQUIRED_SPEEDUP_AT_5K:.0f}x)"
+        )
+        failed = True
+    else:
+        print(
+            f"PASS: fast engine is {speedup_at_5k:.1f}x faster on the "
+            f"resilient 5k swarm (required: >= {REQUIRED_SPEEDUP_AT_5K:.0f}x)"
+        )
+    gate = degradation["outage_midrun_gate"]
+    if not gate["within_tolerance"]:
+        print(
+            "FAIL: full policy does not degrade gracefully under "
+            "outage-midrun (completion ratio "
+            f"{gate['full_vs_fault_free_completion_ratio']})"
+        )
+        failed = True
+    else:
+        print(
+            "PASS: full policy stays within "
+            f"{DEGRADATION_TOLERANCE:.0%} of the fault-free completion time "
+            "under outage-midrun"
+        )
+    return 1 if failed else 0
+
+
+def test_resilience_quick():
+    """Pytest entry point: speedup gate plus the graceful-degradation gate."""
+    rows = run_scaling(TIMED_SIZES)
+    degradation = run_degradation()
+    from conftest import write_benchmark_json
+
+    payload = build_payload(rows, degradation, mode="quick")
+    write_benchmark_json("resilience", payload)
+    assert payload["speedup_at_5k"] >= REQUIRED_SPEEDUP_AT_5K
+    assert degradation["outage_midrun_gate"]["within_tolerance"]
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -61,6 +61,11 @@ from repro.bittorrent.fast.tracker import (
     neighbor_sets_to_csr,
 )
 from repro.bittorrent.piece_selection import make_selector
+from repro.bittorrent.resilience import (
+    ResilienceRuntime,
+    resolve_resilience,
+    sample_pools,
+)
 from repro.bittorrent.scenarios import ScenarioSchedule, resolve_scenario
 from repro.bittorrent.telemetry import (
     ObserverConfig,
@@ -127,6 +132,14 @@ class FastSwarmSimulator:
         self._faults = FaultRuntime(self.faults)
         self._faults_active = self._faults.active
         self.tracker_available: bool = True
+        # The resilience layer mirrors the reference engine's: one shared
+        # pid-level runtime, trivial by default (no draws, no branches).
+        # PEX introductions mutate the live adjacency between membership
+        # rounds, so the CSR re-freeze is driven by a dirty flag too.
+        self.resilience = resolve_resilience(config.resilience)
+        self._resilience = ResilienceRuntime(self.resilience, self.faults)
+        self._resilience_active = self._resilience.active
+        self._adjacency_dirty = False
         self.n_total = config.leechers + config.seeds
         self._build_population(bandwidths, distribution)
 
@@ -179,6 +192,14 @@ class FastSwarmSimulator:
             (p.downloads for p in self.profiles), dtype=bool, count=n
         )
 
+        # Replica preferences: the same pinned tracker-select batch the
+        # reference engine draws for the whole initial population.
+        if self._resilience_active:
+            self._resilience.assign_preferences(
+                list(range(1, n + 1)),
+                self.source.stream(streams.TRACKER_SELECT),
+            )
+
         self.bitfields = BitfieldMatrix(n, config.piece_count)
         bootstrap_rng = self.source.stream(streams.BOOTSTRAP)
         start_default = int(round(config.start_completion * config.piece_count))
@@ -207,6 +228,13 @@ class FastSwarmSimulator:
             contact_filter=self._contact_filter if self._behaviors_active else None,
         )
         self._freeze_edges()
+        if self._resilience_active:
+            # Same per-announce accounting as the reference construction
+            # loop (round 0 is outside every outage window, so each
+            # announce lands on its preferred replica); record_announce
+            # draws nothing, so running it after the CSR build is free.
+            for pid in range(1, n + 1):
+                self._resilience.record_announce(pid, 0)
         # Initially-complete peers announce as seeders (scrape counts them,
         # the snatch counter does not) -- mirrors the reference tracker.
         for i in range(n):
@@ -302,7 +330,9 @@ class FastSwarmSimulator:
         changed = False
         if self._faults_active:
             faults.begin_round(round_index)
-            self.tracker_available = faults.tracker_up(round_index)
+            self.tracker_available = faults.tracker_up(
+                round_index, self.resilience.trackers
+            )
             if self.tracker_available:
                 completions, departs = faults.drain_deferred()
                 for pid in completions:
@@ -310,6 +340,19 @@ class FastSwarmSimulator:
                 for pid in departs:
                     self.tracker.depart(pid)
             changed |= self._process_rejoins(round_index)
+        if self._resilience_active:
+            # Dead-neighbor eviction, after the rejoin step -- same pinned
+            # position as the reference engine.  Purges touch only the
+            # tracker's registration state, never the adjacency, so the
+            # CSR stays valid.
+            self._resilience.begin_round(round_index)
+            if self.tracker_available:
+                for pid in self._resilience.drain_purges():
+                    if self.alive[pid - 1]:
+                        continue  # rejoined: the registration is live again
+                    if self.tracker.is_registered(pid):
+                        self.tracker.depart(pid)
+                        self._resilience.count_purge()
         if scenario.departure != "stay":
             # The alive filter and the dedupe only matter under crashes:
             # a victim's stale bucket entry must not fire while it is
@@ -369,8 +412,12 @@ class FastSwarmSimulator:
         """
         if not self.tracker_available:
             self._faults.queue_announce(pid, round_index)
+            if self._resilience_active and self.resilience.pex:
+                self._pex_bootstrap(pid)
             return
         announced = self.tracker.announce(pid, self.source.stream(streams.TRACKER))
+        if self._resilience_active:
+            self._resilience.record_announce(pid, round_index)
         contacts: Sequence[int] = (
             self._contact_filter(pid, announced)
             if self._behaviors_active
@@ -399,6 +446,8 @@ class FastSwarmSimulator:
         for pid in due:
             i = pid - 1
             self._departed.pop(pid, None)
+            if self._resilience_active:
+                self._resilience.cancel_eviction(pid)
             self.alive[i] = True
             self.counts += self.bitfields.unpack_row(i)
             if self.scenario.departure != "stay" and self.completed_round[i] is not None:
@@ -432,6 +481,12 @@ class FastSwarmSimulator:
         engine's crashed-peer snapshot field for field.
         """
         pid = i + 1
+        if self._resilience_active:
+            # Keepalive clock, captured before the scrub -- mirrors the
+            # reference engine's note placement.
+            self._resilience.note_crash(
+                pid, round_index, bool(self.neighbor_sets[i])
+            )
         self.alive[i] = False
         self.counts -= self.bitfields.unpack_row(i)
         for j in self.neighbor_sets[i]:
@@ -461,6 +516,60 @@ class FastSwarmSimulator:
             self._announce_or_queue(pid, round_index)
             delivered = True
         return delivered
+
+    # -- resilience dynamics -------------------------------------------------------
+
+    def _pex_bootstrap(self, pid: int) -> None:
+        """Bootstrap a tracker-less arrival from live lower-id peers.
+
+        Mirrors ``SwarmSimulator._pex_bootstrap``: the candidate pool --
+        alive peers with a smaller id -- is the one membership predicate
+        both engines can compute identically mid-arrival-wave, and the
+        single pinned ``pex-gossip`` batch keeps the stream aligned.
+        """
+        candidates = [j + 1 for j in range(pid - 1) if self.alive[j]]
+        sample = sample_pools(
+            [candidates],
+            self.resilience.pex_sample,
+            self.source.stream(streams.PEX_GOSSIP),
+        )[0]
+        if not sample:
+            return
+        i = pid - 1
+        for contact in sample:
+            j = contact - 1
+            self.neighbor_sets[i].add(j)
+            self.neighbor_sets[j].add(i)
+        self._adjacency_dirty = True
+        self._resilience.count_bootstrap()
+
+    def _pex_round(self, transfers: List[Tuple[int, int, float]]) -> None:
+        """One gossip round over this round's unchoke pairs (PEX).
+
+        Two phases, mirroring the reference engine: every pool is built
+        from the pre-gossip adjacency, then one pinned ``pex-gossip``
+        batch samples all pools, then the introductions are applied.
+        """
+        if not transfers:
+            return
+        pairs = sorted((s + 1, r + 1) for s, r, _ in transfers)
+        pools = [
+            sorted(j + 1 for j in self.neighbor_sets[a - 1] if j != b - 1)
+            for a, b in pairs
+        ]
+        samples = sample_pools(
+            pools, self.resilience.pex_sample, self.source.stream(streams.PEX_GOSSIP)
+        )
+        for (_, b), sample in zip(pairs, samples):
+            i_b = b - 1
+            for pid in sample:
+                j = pid - 1
+                if j == i_b or j in self.neighbor_sets[i_b]:
+                    continue
+                self.neighbor_sets[i_b].add(j)
+                self.neighbor_sets[j].add(i_b)
+                self._adjacency_dirty = True
+                self._resilience.count_introduction()
 
     def _filter_faulty_transfers(
         self,
@@ -499,6 +608,13 @@ class FastSwarmSimulator:
             if self._locality_on
             else [-1] * count
         )
+        if self._resilience_active:
+            # One tracker-select batch per arrival wave, right after the
+            # behavior draws -- the reference engine's pinned position.
+            self._resilience.assign_preferences(
+                [self.n_total + 1 + k for k in range(count)],
+                self.source.stream(streams.TRACKER_SELECT),
+            )
         base = self.bitfields.add_peers(count)
         self.alive = np.concatenate([self.alive, np.ones(count, dtype=bool)])
         self.is_seed = np.concatenate([self.is_seed, np.zeros(count, dtype=bool)])
@@ -568,9 +684,12 @@ class FastSwarmSimulator:
 
         rounds_run = config.rounds
         for round_index in range(1, config.rounds + 1):
-            if self._process_membership(round_index):
+            membership_changed = self._process_membership(round_index)
+            if membership_changed:
                 incomplete = self._count_incomplete()
+            if membership_changed or self._adjacency_dirty:
                 self._rebuild_csr()
+                self._adjacency_dirty = False
             transfers, regular_pairs = self._plan_round(rng)
             if self._faults_active:
                 transfers = self._filter_faulty_transfers(transfers, round_index)
@@ -579,6 +698,12 @@ class FastSwarmSimulator:
                 transfers, collaboration, rng, round_index, incomplete
             )
             completed += newly
+            if (
+                self._resilience_active
+                and self.resilience.pex
+                and not self.tracker_available
+            ):
+                self._pex_round(transfers)
             if observer is not None:
                 observer.observe_round(round_index, regular_pairs)
             if (
@@ -601,6 +726,9 @@ class FastSwarmSimulator:
             arrivals=self._total_arrived,
             departures=len(self._departed),
             observed=observer.finish(rounds_run) if observer is not None else None,
+            resilience=(
+                self._resilience.stats() if self._resilience_active else None
+            ),
         )
 
     def _count_incomplete(self) -> int:

@@ -25,7 +25,7 @@ tests cover both the construction path and churning scenarios.
 from __future__ import annotations
 
 import bisect
-from typing import Callable, List, Optional, Set, Tuple
+from typing import Callable, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -136,6 +136,16 @@ class FastTracker:
             leechers=self.swarm_size - seeders,
             snatches=self._snatches,
         )
+
+    def stale_count(self, present: Iterable[int]) -> int:
+        """Registered peers that are no longer actually in the swarm.
+
+        Mirrors :meth:`repro.bittorrent.tracker.Tracker.stale_count`: the
+        crashed-peer registrations still counted by :meth:`scrape`,
+        measured against the ground-truth ``present`` ids.
+        """
+        alive = frozenset(present)
+        return sum(1 for pid in self.known_peers() if pid not in alive)
 
     def known_peers(self) -> List[int]:
         """Currently registered peer ids, ascending (departed excluded)."""

@@ -10,10 +10,15 @@ client behavior (:mod:`repro.bittorrent.behaviors`).
 A :class:`FaultSchedule` is a composition of :class:`FaultEvent`\\ s:
 
 ``outage``
-    The tracker is unreachable for a window of rounds: announces and
+    A tracker replica is unreachable for a window of rounds: announces and
     scrapes fail, new arrivals queue their announce and retry with a
     deterministic doubling backoff (:func:`repro.sim.faults.backoff_delay`),
     and completion / depart notifications are delivered on recovery.
+    By default an outage hits replica 0 -- the only replica of a
+    single-tracker swarm, so existing specs are unchanged -- but under a
+    replicated announce list (:mod:`repro.bittorrent.resilience`) an event
+    may target one replica (``replica=R``) or all of them (``replica=-1``):
+    the swarm only loses the tracker entirely when every replica is down.
 ``loss``
     Each planned transfer is independently dropped with probability
     ``rate`` during the window (the unchoke decision stands -- loss kills
@@ -101,6 +106,11 @@ class FaultEvent:
         retained across the gap, neighbors and partial pieces are not).
     groups:
         Number of sides a ``partition`` event splits the swarm into.
+    replica:
+        Which tracker replica an ``outage`` event hits: a 0-based index
+        into the announce list, or ``-1`` for every replica at once.  The
+        default 0 is the only replica of a single-tracker swarm, so specs
+        written before replication keep their meaning.
     """
 
     kind: str
@@ -110,6 +120,7 @@ class FaultEvent:
     count: int = 0
     rejoin_after: int = 0
     groups: int = 2
+    replica: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -141,6 +152,15 @@ class FaultEvent:
         if self.kind == "partition":
             if self.groups < 2:
                 raise ValueError("partition groups must be >= 2")
+        if self.kind == "outage":
+            if self.replica < -1:
+                raise ValueError(
+                    "outage replica must be a 0-based index or -1 for all"
+                )
+        elif self.replica != 0:
+            raise ValueError(
+                f"replica only applies to outage events, not '{self.kind}'"
+            )
 
     @property
     def window(self) -> RoundWindow:
@@ -169,7 +189,15 @@ class FaultSchedule:
                     else FaultEvent(**dict(event))  # type: ignore[arg-type]
                     for event in self.events
                 ),
-                key=lambda e: (e.kind, e.start, e.rounds, e.rate, e.count, e.groups),
+                key=lambda e: (
+                    e.kind,
+                    e.start,
+                    e.rounds,
+                    e.rate,
+                    e.count,
+                    e.groups,
+                    e.replica,
+                ),
             )
         )
         crash_rounds = [e.start for e in normalized if e.kind == "crash"]
@@ -187,10 +215,34 @@ class FaultSchedule:
         """Whether the schedule injects nothing (and so draws nothing)."""
         return not self.events
 
-    def tracker_down(self, round_index: int) -> bool:
-        """Whether an outage window covers ``round_index``."""
+    def replica_down(self, round_index: int, replica: int) -> bool:
+        """Whether an outage covering ``round_index`` hits ``replica``.
+
+        An event with ``replica=-1`` hits every replica; otherwise only
+        its own index.
+        """
         return any(
-            e.kind == "outage" and e.window.covers(round_index) for e in self.events
+            e.kind == "outage"
+            and e.replica in (-1, replica)
+            and e.window.covers(round_index)
+            for e in self.events
+        )
+
+    def tracker_down(self, round_index: int) -> bool:
+        """Whether replica 0 -- the sole tracker of an unreplicated swarm --
+        is inside an outage window at ``round_index``."""
+        return self.replica_down(round_index, 0)
+
+    @property
+    def max_targeted_replica(self) -> int:
+        """Highest replica index named by an outage event (0 if none).
+
+        The resilience layer validates this against the announce-list
+        length: targeting replica 2 of a 2-replica set is a config error,
+        not a silently dead event.
+        """
+        return max(
+            (e.replica for e in self.events if e.kind == "outage"), default=0
         )
 
     def loss_rate(self, round_index: int) -> float:
@@ -247,9 +299,18 @@ class FaultRuntime:
         if self._partition_groups and self.schedule.partition_event(round_index) is None:
             self._partition_groups.clear()
 
-    def tracker_up(self, round_index: int) -> bool:
-        """Whether the tracker is reachable this round."""
-        return not self.schedule.tracker_down(round_index)
+    def tracker_up(self, round_index: int, replicas: int = 1) -> bool:
+        """Whether any of ``replicas`` tracker replicas is reachable.
+
+        With the default single replica this is the pre-replication
+        behaviour: down exactly when an outage window covers the round.
+        A replicated announce list only goes dark when every replica is
+        inside an outage window at once.
+        """
+        return any(
+            not self.schedule.replica_down(round_index, r)
+            for r in range(max(1, replicas))
+        )
 
     def blocks_early_exit(self, round_index: int) -> bool:
         """Whether unresolved fault state must keep the round loop running.
@@ -434,15 +495,100 @@ _FAULT_PRESETS: Dict[str, FaultSchedule] = {
 FAULT_PRESET_NAMES = tuple(sorted(_FAULT_PRESETS))
 
 
-def _parse_window(value: str, token: str) -> Tuple[int, int]:
+def _parse_window(value: str) -> Tuple[int, int]:
     """Parse ``START+ROUNDS`` (``+ROUNDS`` optional, default 1)."""
     start_text, plus, rounds_text = value.partition("+")
     try:
         start = int(start_text)
         rounds = int(rounds_text) if plus else 1
     except ValueError:
-        raise ValueError(f"bad fault window '{value}' in '{token}'") from None
+        raise ValueError(f"bad fault window '{value}'") from None
     return start, rounds
+
+
+def _iter_spec_tokens(spec: str):
+    """Yield ``(ordinal, token, start_char, end_char)`` per non-empty token.
+
+    Character positions index into the *original* spec string (0-based,
+    end exclusive), so an error can point at exactly the slice the user
+    typed, commas and surrounding whitespace excluded.
+    """
+    offset = 0
+    ordinal = 0
+    for raw in spec.split(","):
+        stripped = raw.strip()
+        if stripped:
+            ordinal += 1
+            start = offset + (len(raw) - len(raw.lstrip()))
+            yield ordinal, stripped, start, start + len(stripped)
+        offset += len(raw) + 1  # the token plus the comma it lost
+
+
+def _parse_one_fault(token: str) -> FaultEvent:
+    """Parse a single ``kind:params`` token (positions added by the caller)."""
+    if ":" not in token:
+        raise ValueError(
+            "expected kind:params, e.g. outage:20+5, loss:0.05, "
+            "crash:10@8~4, partition:10+5/2"
+        )
+    kind, _, value = token.partition(":")
+    kind = kind.strip()
+    value = value.strip()
+    if kind == "outage":
+        window_text, slash, replica_text = value.partition("/")
+        start, rounds = _parse_window(window_text)
+        replica = 0
+        if slash:
+            replica_text = replica_text.strip()
+            if replica_text == "all":
+                replica = -1
+            else:
+                try:
+                    replica = int(replica_text)
+                except ValueError:
+                    raise ValueError(
+                        f"bad outage replica '{replica_text}' "
+                        f"(expected an integer or 'all')"
+                    ) from None
+        return FaultEvent("outage", start=start, rounds=rounds, replica=replica)
+    if kind == "loss":
+        rate_text, at, window_text = value.partition("@")
+        try:
+            rate = float(rate_text)
+        except ValueError:
+            raise ValueError(f"bad loss rate '{rate_text}'") from None
+        start, rounds = _parse_window(window_text) if at else (1, 0)
+        return FaultEvent("loss", start=start, rounds=rounds, rate=rate)
+    if kind == "crash":
+        count_text, at, rest = value.partition("@")
+        if not at:
+            raise ValueError("expected crash:COUNT@ROUND[~REJOIN]")
+        round_text, tilde, rejoin_text = rest.partition("~")
+        try:
+            count = int(count_text)
+            start = int(round_text)
+            rejoin_after = int(rejoin_text) if tilde else 0
+        except ValueError:
+            raise ValueError(
+                f"bad crash parameters '{value}' "
+                f"(expected crash:COUNT@ROUND[~REJOIN])"
+            ) from None
+        return FaultEvent(
+            "crash", start=start, count=count, rejoin_after=rejoin_after
+        )
+    if kind == "partition":
+        window_text, slash, groups_text = value.partition("/")
+        start, rounds = _parse_window(window_text)
+        try:
+            groups = int(groups_text) if slash else 2
+        except ValueError:
+            raise ValueError(
+                f"bad partition group count '{groups_text}'"
+            ) from None
+        return FaultEvent("partition", start=start, rounds=rounds, groups=groups)
+    raise ValueError(
+        f"unknown fault kind '{kind}' (available: {', '.join(FAULT_KINDS)})"
+    )
 
 
 def _parse_faults_spec(spec: str) -> FaultSchedule:
@@ -450,73 +596,29 @@ def _parse_faults_spec(spec: str) -> FaultSchedule:
 
     Grammar (all round numbers 1-based)::
 
-        outage:START+ROUNDS          tracker down for the window
+        outage:START+ROUNDS          tracker (replica 0) down for the window
+        outage:START+ROUNDS/R        replica R of a replicated set down
+        outage:START+ROUNDS/all      every replica down
         loss:RATE                    open-ended loss at RATE
         loss:RATE@START+ROUNDS       loss limited to a window
         crash:COUNT@ROUND            COUNT peers crash at ROUND, no rejoin
         crash:COUNT@ROUND~REJOIN     ... rejoining REJOIN rounds later
         partition:START+ROUNDS       2-way partition for the window
         partition:START+ROUNDS/G     G-way partition
+
+    A malformed token raises a :class:`ValueError` naming the token, its
+    1-based ordinal and its character span in the spec string, so a typo
+    in a long composite spec is locatable without bisecting it.
     """
     events: List[FaultEvent] = []
-    for token in spec.split(","):
-        token = token.strip()
-        if not token:
-            continue
-        if ":" not in token:
+    for ordinal, token, start_char, end_char in _iter_spec_tokens(spec):
+        try:
+            events.append(_parse_one_fault(token))
+        except ValueError as exc:
             raise ValueError(
-                f"bad fault token '{token}' (expected kind:params, e.g. "
-                f"outage:20+5, loss:0.05, crash:10@8~4, partition:10+5/2)"
-            )
-        kind, _, value = token.partition(":")
-        kind = kind.strip()
-        value = value.strip()
-        if kind == "outage":
-            start, rounds = _parse_window(value, token)
-            events.append(FaultEvent("outage", start=start, rounds=rounds))
-        elif kind == "loss":
-            rate_text, at, window_text = value.partition("@")
-            try:
-                rate = float(rate_text)
-            except ValueError:
-                raise ValueError(f"bad loss rate '{rate_text}' in '{token}'") from None
-            start, rounds = _parse_window(window_text, token) if at else (1, 0)
-            events.append(FaultEvent("loss", start=start, rounds=rounds, rate=rate))
-        elif kind == "crash":
-            count_text, at, rest = value.partition("@")
-            if not at:
-                raise ValueError(
-                    f"bad crash token '{token}' (expected crash:COUNT@ROUND"
-                    f"[~REJOIN])"
-                )
-            round_text, tilde, rejoin_text = rest.partition("~")
-            try:
-                count = int(count_text)
-                start = int(round_text)
-                rejoin_after = int(rejoin_text) if tilde else 0
-            except ValueError:
-                raise ValueError(f"bad crash token '{token}'") from None
-            events.append(
-                FaultEvent(
-                    "crash", start=start, count=count, rejoin_after=rejoin_after
-                )
-            )
-        elif kind == "partition":
-            window_text, slash, groups_text = value.partition("/")
-            start, rounds = _parse_window(window_text, token)
-            try:
-                groups = int(groups_text) if slash else 2
-            except ValueError:
-                raise ValueError(
-                    f"bad partition group count '{groups_text}' in '{token}'"
-                ) from None
-            events.append(
-                FaultEvent("partition", start=start, rounds=rounds, groups=groups)
-            )
-        else:
-            raise ValueError(
-                f"unknown fault kind '{kind}' (available: {', '.join(FAULT_KINDS)})"
-            )
+                f"fault spec error in token {ordinal} ('{token}', "
+                f"chars {start_char}-{end_char}): {exc}"
+            ) from None
     return FaultSchedule(tuple(events))
 
 

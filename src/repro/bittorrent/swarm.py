@@ -54,6 +54,13 @@ from repro.bittorrent.choking import SeedChoker, TitForTatChoker
 from repro.bittorrent.faults import FaultRuntime, FaultSchedule, resolve_faults
 from repro.bittorrent.pieces import Bitfield, Torrent
 from repro.bittorrent.piece_selection import PieceSelector, make_selector, piece_availability
+from repro.bittorrent.resilience import (
+    ResiliencePolicy,
+    ResilienceRuntime,
+    ResilienceStats,
+    resolve_resilience,
+    sample_pools,
+)
 from repro.bittorrent.scenarios import ScenarioSchedule, resolve_scenario
 from repro.bittorrent.telemetry import (
     ObservedSwarm,
@@ -125,6 +132,14 @@ class SwarmConfig:
         partitions.  Faults are bit-identical across engines, and a
         trivial schedule leaves the run draw-for-draw identical to a
         fault-free one.
+    resilience:
+        Client-side defenses against the fault layer (a
+        :class:`~repro.bittorrent.resilience.ResiliencePolicy`, a preset
+        name / spec string, or ``None`` for the paper's defenseless
+        clients): multi-tracker failover, peer-exchange gossip during
+        total outages, and dead-neighbor eviction with stale-registration
+        purging.  Resilience is bit-identical across engines, and the
+        trivial default draws nothing and changes nothing.
     """
 
     leechers: int = 60
@@ -144,6 +159,7 @@ class SwarmConfig:
     optimistic_period: int = 3
     behaviors: "BehaviorMix | str | None" = None
     faults: "FaultSchedule | str | None" = None
+    resilience: "ResiliencePolicy | str | None" = None
     piece_size_kb: InitVar[Optional[float]] = None  # repro: allow[RPD005] -- deprecation shim for the *_kb -> *_kbit rename
 
     def __post_init__(self, piece_size_kb: Optional[float]) -> None:  # repro: allow[RPD005] -- deprecation shim for the *_kb -> *_kbit rename
@@ -176,6 +192,8 @@ class SwarmConfig:
             self.behaviors = resolve_behavior_mix(self.behaviors)
         if self.faults is not None:
             self.faults = resolve_faults(self.faults)
+        if self.resilience is not None:
+            self.resilience = resolve_resilience(self.resilience)
 
     def __getattr__(self, name: str):
         if name == "piece_size_kb":
@@ -273,6 +291,11 @@ class SwarmResult:
     :class:`~repro.bittorrent.telemetry.SwarmObserver` (``None`` when the
     run was unobserved); every other field is bit-identical with or
     without observation.
+
+    ``resilience`` carries the failover / PEX / eviction counters of a
+    non-trivial :class:`~repro.bittorrent.resilience.ResiliencePolicy`
+    (``None`` -- and absent from serialized traces -- for the defenseless
+    default, so pre-resilience result payloads are unchanged).
     """
 
     config: SwarmConfig
@@ -284,6 +307,7 @@ class SwarmResult:
     arrivals: int = 0
     departures: int = 0
     observed: Optional[ObservedSwarm] = None
+    resilience: Optional[ResilienceStats] = None
 
     def leechers(self) -> List[SwarmPeer]:
         """All non-seed peers (departed ones included)."""
@@ -387,6 +411,13 @@ class SwarmSimulator:
         self._faults = FaultRuntime(self.faults)
         self._faults_active = self._faults.active
         self.tracker_available = True
+        # The resilience layer mirrors the fault layer's shape: one
+        # pid-level runtime (which also validates the schedule's replica
+        # targets against the announce-list length), gates derived from
+        # the config alone, and a trivial policy that draws nothing.
+        self.resilience = resolve_resilience(config.resilience)
+        self._resilience = ResilienceRuntime(self.resilience, self.faults)
+        self._resilience_active = self._resilience.active
         if engine == "fast":
             from repro.bittorrent.fast.swarm import FastSwarmSimulator
 
@@ -454,6 +485,15 @@ class SwarmSimulator:
             else [-1] * n_initial
         )
 
+        # Replica preferences: one pinned tracker-select batch for the
+        # whole initial population (seeds included), drawn only when the
+        # announce list actually has more than one replica.
+        if self._resilience_active:
+            self._resilience.assign_preferences(
+                list(range(1, n_initial + 1)),
+                self.source.stream(streams.TRACKER_SELECT),
+            )
+
         bootstrap_rng = self.source.stream(streams.BOOTSTRAP)
         announce_rng = self.source.stream(streams.TRACKER)
         start_default = int(round(config.start_completion * config.piece_count))
@@ -504,6 +544,11 @@ class SwarmSimulator:
 
         for pid in self.peers:
             contacts = self.tracker.announce(pid, announce_rng)
+            if self._resilience_active:
+                # Construction happens before round 1, so no outage window
+                # can cover it: every announce lands on its preferred
+                # replica (round_index=0 is outside all windows).
+                self._resilience.record_announce(pid, 0)
             if self._behaviors_active:
                 contacts = self._filter_contacts(pid, contacts, behavior_rng)
             self.peers[pid].neighbors.update(contacts)
@@ -562,7 +607,9 @@ class SwarmSimulator:
         scenario = self.scenario
         if self._faults_active:
             self._faults.begin_round(round_index)
-            self.tracker_available = self._faults.tracker_up(round_index)
+            self.tracker_available = self._faults.tracker_up(
+                round_index, self.resilience.trackers
+            )
             if self.tracker_available:
                 completions, departs = self._faults.drain_deferred()
                 for pid in completions:
@@ -570,6 +617,19 @@ class SwarmSimulator:
                 for pid in departs:
                     self.tracker.depart(pid)
             self._process_rejoins(round_index)
+        if self._resilience_active:
+            # Dead-neighbor eviction: fire the keepalive timeouts, then
+            # deliver any pending stale-registration purges if a replica
+            # is reachable.  Runs after the rejoin step so a peer that
+            # came back this round keeps its (live again) registration.
+            self._resilience.begin_round(round_index)
+            if self.tracker_available:
+                for pid in self._resilience.drain_purges():
+                    if pid in self.peers:
+                        continue  # rejoined: the registration is live again
+                    if self.tracker.is_registered(pid):
+                        self.tracker.depart(pid)
+                        self._resilience.count_purge()
         if scenario.departure != "stay":
             due = [
                 pid
@@ -595,6 +655,14 @@ class SwarmSimulator:
                 if self._locality_on
                 else [-1] * count
             )
+            if self._resilience_active:
+                # One tracker-select batch per arrival wave (the pids are
+                # allocated sequentially, so both engines know them before
+                # the per-arrival loop runs).
+                self._resilience.assign_preferences(
+                    [self._next_pid + 1 + k for k in range(count)],
+                    self.source.stream(streams.TRACKER_SELECT),
+                )
             for k in range(count):
                 self._arrive(
                     float(capacities[k]),
@@ -639,8 +707,12 @@ class SwarmSimulator:
         """
         if not self.tracker_available:
             self._faults.queue_announce(pid, round_index)
+            if self._resilience_active and self.resilience.pex:
+                self._pex_bootstrap(pid)
             return
         contacts = self.tracker.announce(pid, self.source.stream(streams.TRACKER))
+        if self._resilience_active:
+            self._resilience.record_announce(pid, round_index)
         if self._behaviors_active:
             contacts = self._filter_contacts(
                 pid, contacts, self.source.stream(streams.BEHAVIOR)
@@ -652,6 +724,58 @@ class SwarmSimulator:
                 continue  # stale tracker entry: a crashed peer
             peer.neighbors.add(other)
             self.peers[other].neighbors.add(pid)
+
+    def _pex_bootstrap(self, pid: int) -> None:
+        """Seed a blacked-out (re)joiner with cached peer contacts.
+
+        An arrival that finds every replica down would otherwise sit alone
+        in the retry queue; with PEX on it samples a bounded handful of
+        longer-lived peers (ids strictly below its own: resume caches and
+        local discovery only know peers that existed first -- and, less
+        romantically, the only membership rule both engines can evaluate
+        identically mid-arrival-wave).  One pex-gossip batch per queued
+        announce.
+        """
+        candidates = sorted(p for p in self.peers if p < pid)
+        sample = sample_pools(
+            [candidates],
+            self.resilience.pex_sample,
+            self.source.stream(streams.PEX_GOSSIP),
+        )[0]
+        if not sample:
+            return
+        peer = self.peers[pid]
+        for other in sample:
+            peer.neighbors.add(other)
+            self.peers[other].neighbors.add(pid)
+        self._resilience.count_bootstrap()
+
+    def _pex_round(self, transfers: Dict[Tuple[int, int], float]) -> None:
+        """Gossip neighbor samples along this round's surviving transfers.
+
+        Only runs while every replica is unreachable.  Each directed
+        (sender, receiver) pair carries one bounded sample of the sender's
+        live neighbors (receiver excluded); all samples of the round are
+        drawn as one pinned pex-gossip batch over the sorted pairs
+        *before* any edge is added, so the pools both engines sample from
+        are identical by construction.
+        """
+        pairs = sorted(transfers)
+        pools = [
+            [p for p in sorted(self.peers[a].neighbors) if p != b]
+            for a, b in pairs
+        ]
+        samples = sample_pools(
+            pools, self.resilience.pex_sample, self.source.stream(streams.PEX_GOSSIP)
+        )
+        for (a, b), sample in zip(pairs, samples):
+            receiver = self.peers[b]
+            for pid in sample:
+                if pid == b or pid in receiver.neighbors:
+                    continue
+                receiver.neighbors.add(pid)
+                self.peers[pid].neighbors.add(b)
+                self._resilience.count_introduction()
 
     def _process_rejoins(self, round_index: int) -> None:
         """Restore crashed peers whose rejoin falls due this round.
@@ -669,6 +793,8 @@ class SwarmSimulator:
         for pid in due:
             peer = self._departed.pop(pid)
             peer.departed_round = None
+            if self._resilience_active:
+                self._resilience.cancel_eviction(pid)
             self.peers[pid] = peer
             self._chokers[pid] = TitForTatChoker(
                 regular_slots=config.regular_slots,
@@ -698,6 +824,10 @@ class SwarmSimulator:
         """
         peer = self.peers.pop(pid)
         peer.departed_round = round_index
+        if self._resilience_active:
+            # The keepalive clock starts now; only a peer somebody was
+            # connected to is detectable (captured before the scrub).
+            self._resilience.note_crash(pid, round_index, bool(peer.neighbors))
         for other in peer.neighbors:
             if other in self.peers:
                 self.peers[other].neighbors.discard(pid)
@@ -785,6 +915,12 @@ class SwarmSimulator:
                 transfers = self._filter_faulty_transfers(transfers, round_index)
             self._record_reciprocal_tft(regular_pairs, tft_rounds, round_index)
             completed += self._apply_round(transfers, collaboration, rng, round_index)
+            if (
+                self._resilience_active
+                and self.resilience.pex
+                and not self.tracker_available
+            ):
+                self._pex_round(transfers)
             if observer is not None:
                 observer.observe_round(round_index, regular_pairs)
             if (
@@ -813,6 +949,9 @@ class SwarmSimulator:
             arrivals=self._total_arrived,
             departures=len(self._departed),
             observed=observer.finish(rounds_run) if observer is not None else None,
+            resilience=(
+                self._resilience.stats() if self._resilience_active else None
+            ),
         )
 
     def _plan_round(

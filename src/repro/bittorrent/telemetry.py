@@ -450,6 +450,14 @@ class _ReferenceSwarmView:
             return None
         return peer.bitfield.count() / self.piece_count
 
+    def stale_count(self) -> int:
+        """Crashed-but-registered ghosts in the scrape (omniscient).
+
+        Consumes no randomness and mutates nothing; see
+        :meth:`repro.bittorrent.tracker.Tracker.stale_count`.
+        """
+        return self._simulator.tracker.stale_count(self._simulator.peers)
+
 
 class _FastSwarmView:
     """Read-only measurement surface of the fast engine.
@@ -482,3 +490,10 @@ class _FastSwarmView:
             return None
         have = int(self._simulator.bitfields.have_count[peer_id - 1])
         return have / self.piece_count
+
+    def stale_count(self) -> int:
+        """Crashed-but-registered ghosts in the scrape (omniscient)."""
+        simulator = self._simulator
+        return simulator.tracker.stale_count(
+            i + 1 for i in range(simulator.n_total) if simulator.alive[i]
+        )

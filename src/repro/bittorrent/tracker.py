@@ -18,7 +18,7 @@ so an attached observer cannot perturb a run.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set
+from typing import Dict, Iterable, List, Set
 
 import numpy as np
 
@@ -140,6 +140,20 @@ class Tracker:
     def is_registered(self, peer_id: int) -> bool:
         """Whether the peer is currently in the swarm (not departed)."""
         return peer_id in self._known
+
+    def stale_count(self, present: Iterable[int]) -> int:
+        """Registered peers that are no longer actually in the swarm.
+
+        Crashed peers never send a ``stopped`` event, so their
+        registrations linger: announces keep handing the ids out and
+        ``scrape()`` keeps counting the ghosts (see ``docs/faults.md``,
+        "scrapes overcount crashed peers").  ``present`` is the ground
+        truth -- the ids currently alive in the simulation -- which makes
+        this an *omniscient* diagnostic a real scraper could not compute;
+        the telemetry views expose it as exactly that.
+        """
+        alive = frozenset(present)
+        return sum(1 for pid in self._known if pid not in alive)
 
     def known_peers(self) -> List[int]:
         """Currently registered peer ids, ascending (departed excluded).

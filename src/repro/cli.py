@@ -23,6 +23,7 @@ from repro.bittorrent.behaviors import (
     make_behavior_mix,
 )
 from repro.bittorrent.faults import FAULT_PRESET_NAMES, make_faults
+from repro.bittorrent.resilience import RESILIENCE_PRESET_NAMES, make_resilience
 from repro.bittorrent.scenarios import SCENARIO_NAMES
 from repro.core.exceptions import ENGINES
 from repro.sim.parallel import ResultCache, source_fingerprint
@@ -87,6 +88,7 @@ _EXPERIMENTS: Dict[str, Callable[[], object]] = {
     "telemetry": experiments.telemetry_experiment,
     "behavior-sweep": experiments.behavior_sweep_experiment,
     "fault-sweep": experiments.fault_sweep_experiment,
+    "resilience-sweep": experiments.resilience_sweep_experiment,
 }
 
 
@@ -152,6 +154,18 @@ def build_parser() -> argparse.ArgumentParser:
             f"({', '.join(FAULT_PRESET_NAMES)}) or a spec like "
             "'outage:20+5,loss:0.02,crash:5@10~3,partition:10+5/2'; fault "
             "runs stay bit-identical across engines"
+        ),
+    )
+    parser.add_argument(
+        "--resilience",
+        default=None,
+        metavar="POLICY",
+        help=(
+            "client-side resilience policy for the swarm experiment: a "
+            f"preset ({', '.join(RESILIENCE_PRESET_NAMES)}) or a spec like "
+            "'trackers:3,pex:8,keepalive:5' arming multi-tracker failover, "
+            "PEX gossip and dead-neighbor eviction; resilient runs stay "
+            "bit-identical across engines"
         ),
     )
     parser.add_argument(
@@ -251,6 +265,11 @@ def _runner_kwargs(
         kwargs["behavior_mix"] = args.behavior_mix
     if "faults" in parameters and getattr(args, "faults", None) is not None:
         kwargs["faults"] = args.faults
+    if (
+        "resilience" in parameters
+        and getattr(args, "resilience", None) is not None
+    ):
+        kwargs["resilience"] = args.resilience
     if "workers" in parameters:
         kwargs["workers"] = 1 if getattr(args, "profile", False) else args.workers
     if "cache" in parameters and cache is not None:
@@ -290,6 +309,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             make_faults(args.faults)
         except ValueError as exc:
             parser.error(f"--faults: {exc}")
+    if args.resilience is not None:
+        try:
+            make_resilience(args.resilience)
+        except ValueError as exc:
+            parser.error(f"--resilience: {exc}")
 
     if args.experiment == "list":
         for name in sorted(_EXPERIMENTS):

@@ -17,6 +17,7 @@ from repro.experiments.figures import (
     swarm_stratification_experiment,
     table1_clustering,
 )
+from repro.experiments.resilience import resilience_sweep_experiment
 from repro.experiments.telemetry import telemetry_experiment
 
 __all__ = [
@@ -33,6 +34,7 @@ __all__ = [
     "figure10_bandwidth_cdf",
     "figure11_efficiency",
     "scenario_stratification_timeline",
+    "resilience_sweep_experiment",
     "swarm_stratification_experiment",
     "table1_clustering",
     "telemetry_experiment",

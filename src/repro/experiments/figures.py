@@ -471,12 +471,13 @@ def _swarm_point(
     scrape_interval: int = 1,
     behavior_mix: "str | None" = None,
     faults: "str | None" = None,
+    resilience: "str | None" = None,
 ) -> Dict[str, float]:
     """One seeded swarm replication -- a self-contained sweep task.
 
-    ``behavior_mix`` and ``faults`` stay preset / spec *strings* (not
-    resolved objects) so the task kwargs remain picklable primitives for
-    the sweep cache key.
+    ``behavior_mix``, ``faults`` and ``resilience`` stay preset / spec
+    *strings* (not resolved objects) so the task kwargs remain picklable
+    primitives for the sweep cache key.
     """
     rng = np.random.default_rng(seed)
     bandwidths = np.exp(rng.uniform(np.log(100.0), np.log(2000.0), leechers))
@@ -489,6 +490,7 @@ def _swarm_point(
         seed_upload_kbps=2000.0,
         behaviors=behavior_mix,
         faults=faults,
+        resilience=resilience,
     )
     observer = (
         ObserverConfig(scrape_interval=scrape_interval, poll_interval=scrape_interval)
@@ -547,6 +549,7 @@ def swarm_stratification_experiment(
     scrape_interval: int = 1,
     behavior_mix: "str | None" = None,
     faults: "str | None" = None,
+    resilience: "str | None" = None,
     repetitions: int = 1,
     workers: int = 1,
     cache: CacheLike = None,
@@ -585,6 +588,12 @@ def swarm_stratification_experiment(
     :func:`~repro.bittorrent.faults.make_faults`) schedules tracker
     outages, transfer loss, peer crashes and partitions; the dedicated
     ``fault-sweep`` experiment varies the outage duration systematically.
+
+    ``resilience`` (a preset name or spec string from
+    :func:`~repro.bittorrent.resilience.make_resilience`) arms the
+    client-side defenses -- multi-tracker failover, PEX gossip and
+    dead-neighbor eviction; the dedicated ``resilience-sweep`` experiment
+    compares the defense levels systematically.
     """
     if repetitions <= 0:
         raise ValueError("repetitions must be positive")
@@ -604,6 +613,7 @@ def swarm_stratification_experiment(
                 scrape_interval=scrape_interval,
                 behavior_mix=behavior_mix,
                 faults=faults,
+                resilience=resilience,
             ),
             label=f"swarm#rep{k}",
         )

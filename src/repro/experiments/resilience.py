@@ -1,0 +1,194 @@
+"""Resilience sweeps: graceful degradation under tracker outages.
+
+The fault sweeps (:mod:`repro.experiments.faults`) measure how badly an
+unreliable substrate hurts a *defenseless* swarm; this driver measures how
+much of the damage the client-side defenses of
+:mod:`repro.bittorrent.resilience` buy back.  The ``resilience-sweep``
+experiment runs a small grid -- one swarm per (resilience level, outage
+duration) -- and reports per level a degradation curve of completion
+counts, completion times and the stratification index vs the outage
+duration, so "off" vs "failover" vs "full" can be read off side by side.
+
+Point functions take only picklable primitives (both the fault schedule
+and the resilience policy travel as spec *strings*), so sweeps
+parallelize across processes and hit the on-disk result cache like every
+other experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.bittorrent.resilience import make_resilience
+from repro.bittorrent.swarm import (
+    SwarmConfig,
+    SwarmSimulator,
+    stratification_index,
+)
+from repro.sim.parallel import CacheLike, SeedTree, SweepTask, run_sweep
+
+__all__ = ["resilience_sweep_experiment"]
+
+DEFAULT_LEVELS = ("off", "failover", "full")
+DEFAULT_OUTAGES = (0, 2, 4, 8)
+
+
+def _mean_completion_round(result) -> float:
+    """Across completed leechers, the mean completion round (nan if none)."""
+    rounds = [
+        peer.completed_round
+        for peer in result.peers.values()
+        if not peer.is_seed and peer.completed_round is not None
+    ]
+    return float(np.mean(rounds)) if rounds else float("nan")
+
+
+def _resilience_point(
+    leechers: int,
+    rounds: int,
+    piece_count: int,
+    seed: int,
+    engine: str,
+    scenario: str,
+    faults: str,
+    resilience: str,
+) -> Dict[str, float]:
+    """One seeded swarm under one (faults, resilience) pair."""
+    rng = np.random.default_rng(seed)
+    bandwidths = np.exp(rng.uniform(np.log(100.0), np.log(2000.0), leechers))
+    config = SwarmConfig(
+        leechers=leechers,
+        seeds=2,
+        piece_count=piece_count,
+        rounds=rounds,
+        start_completion=0.25,
+        seed_upload_kbps=2000.0,
+        faults=faults or None,
+        resilience=resilience if resilience != "off" else None,
+    )
+    result = SwarmSimulator(
+        config, bandwidths=bandwidths, seed=seed, engine=engine,
+        scenario=scenario or None,
+    ).run()
+    stats = result.resilience
+    return {
+        "stratification_index": stratification_index(result),
+        "completed": float(result.completed),
+        "mean_completion_round": _mean_completion_round(result),
+        "rounds_run": float(result.rounds_run),
+        "failover_announces": float(stats.failover_announces if stats else 0),
+        "pex_introductions": float(stats.pex_introductions if stats else 0),
+        "pex_bootstraps": float(stats.pex_bootstraps if stats else 0),
+        "evictions": float(stats.evictions if stats else 0),
+    }
+
+
+def resilience_sweep_experiment(
+    *,
+    leechers: int = 40,
+    rounds: int = 80,
+    piece_count: int = 600,
+    seed: int = 0,
+    engine: str = "reference",
+    scenario: str = "poisson",
+    levels: Sequence[str] = DEFAULT_LEVELS,
+    outages: Sequence[int] = DEFAULT_OUTAGES,
+    outage_start: int = 10,
+    extra_faults: str = "",
+    repetitions: int = 1,
+    workers: int = 1,
+    cache: CacheLike = None,
+) -> Dict[str, Dict[str, np.ndarray]]:
+    """Degradation curves per resilience level vs tracker-outage duration.
+
+    For each ``level`` (a resilience preset or spec -- ``"off"`` runs the
+    defenseless default) and each duration ``d`` in ``outages`` the swarm
+    runs with the fault spec ``"outage:{outage_start}+{d}/all"`` (``d = 0``
+    is the fault-free baseline).  Targeting *all* replicas makes the
+    outage total for every level, so the curves isolate what PEX gossip
+    and eviction buy during the blackout; failover's advantage under
+    *partial* outages is covered by the benchmark and the test suite
+    instead, since it needs per-replica windows.  ``extra_faults``
+    appends further comma-separated events (e.g. ``"crash:5@12~6"``) to
+    every faulty point.  Seeding follows the other swarm sweeps: one
+    :class:`~repro.sim.parallel.SeedTree`, replication ``0`` keeps the
+    root seed, curves are across-replication means.  Works on either
+    engine; ``engine="fast"`` is bit-identical.
+    """
+    if repetitions <= 0:
+        raise ValueError("repetitions must be positive")
+    if outage_start < 1:
+        raise ValueError("outage_start must be >= 1")
+    cleaned = sorted({int(d) for d in outages})
+    if not cleaned:
+        raise ValueError("need at least one outage duration")
+    if cleaned[0] < 0:
+        raise ValueError("outage durations cannot be negative")
+    if not levels:
+        raise ValueError("need at least one resilience level")
+    for level in levels:
+        if level != "off":
+            make_resilience(level)  # validate early, before any sweep work
+
+    tree = SeedTree(seed)
+    seeds = [seed] + [
+        tree.child("swarm-replication", k) for k in range(1, repetitions)
+    ]
+    tasks = []
+    for level in levels:
+        for duration in cleaned:
+            parts = (
+                [] if duration == 0 else [f"outage:{outage_start}+{duration}/all"]
+            )
+            if extra_faults:
+                parts.append(extra_faults)
+            spec = ",".join(parts)
+            for k, task_seed in enumerate(seeds):
+                tasks.append(
+                    SweepTask(
+                        _resilience_point,
+                        dict(
+                            leechers=leechers,
+                            rounds=rounds,
+                            piece_count=piece_count,
+                            seed=task_seed,
+                            engine=engine,
+                            scenario=scenario,
+                            faults=spec,
+                            resilience=level,
+                        ),
+                        label=f"resilience#{level}outage{duration}rep{k}",
+                    )
+                )
+    outputs = run_sweep(tasks, workers=workers, cache=cache)
+
+    keys = (
+        "stratification_index",
+        "completed",
+        "mean_completion_round",
+        "rounds_run",
+        "failover_announces",
+        "pex_introductions",
+        "pex_bootstraps",
+        "evictions",
+    )
+    per_duration = len(cleaned) * repetitions
+    report: Dict[str, Dict[str, np.ndarray]] = {}
+    for li, level in enumerate(levels):
+        block = outputs[li * per_duration : (li + 1) * per_duration]
+        curves: Dict[str, List[float]] = {key: [] for key in keys}
+        for index in range(len(cleaned)):
+            replicates = block[index * repetitions : (index + 1) * repetitions]
+            for key in curves:
+                curves[key].append(
+                    float(np.mean([out[key] for out in replicates]))
+                )
+        table: Dict[str, np.ndarray] = {
+            "outage_rounds": np.asarray(cleaned, dtype=float)
+        }
+        for key in sorted(curves):
+            table[key] = np.asarray(curves[key], dtype=float)
+        report[level] = table
+    return report

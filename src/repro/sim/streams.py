@@ -48,6 +48,8 @@ __all__ = [
     "FAULT_LOSS",
     "FAULT_CRASH",
     "FAULT_PARTITION",
+    "TRACKER_SELECT",
+    "PEX_GOSSIP",
     "DYNAMIC_PREFIXES",
     "registered_names",
     "is_registered",
@@ -122,6 +124,12 @@ FAULT_LOSS = "fault-loss"
 FAULT_CRASH = "fault-crash"
 #: Partition-group assignment during network-partition fault windows.
 FAULT_PARTITION = "fault-partition"
+#: Preferred-replica assignment over a replicated tracker set
+#: (:mod:`repro.bittorrent.resilience`, multi-tracker failover).
+TRACKER_SELECT = "tracker-select"
+#: Peer-exchange gossip sampling while a peer's tracker is unreachable
+#: (:mod:`repro.bittorrent.resilience`).
+PEX_GOSSIP = "pex-gossip"
 
 
 REGISTRY: Mapping[str, StreamSpec] = {
@@ -226,6 +234,22 @@ REGISTRY: Mapping[str, StreamSpec] = {
             True,
             "partition-group assignment: one integer batch per round of a "
             "partition window, over the peers not yet assigned a side",
+        ),
+        StreamSpec(
+            TRACKER_SELECT,
+            "bittorrent",
+            True,
+            "preferred tracker replica per peer: one integer batch per "
+            "population / arrival wave when the announce list has more than "
+            "one replica; a single-tracker policy draws nothing",
+        ),
+        StreamSpec(
+            PEX_GOSSIP,
+            "bittorrent",
+            True,
+            "peer-exchange neighbor sampling: one bounded-draw batch per "
+            "round of a total outage (and per announce queued with PEX on); "
+            "a policy without PEX draws nothing",
         ),
     )
 }

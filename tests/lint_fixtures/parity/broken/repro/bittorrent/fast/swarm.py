@@ -1,0 +1,9 @@
+"""Parity fixture (fast tree): forgets both resilience streams -- parity breaks."""
+
+
+def assign_preferences_batched(runtime, pids):
+    return runtime.assign_preferences(pids)
+
+
+def pex_round_batched(runtime, pools):
+    return runtime.sample(pools)

@@ -1,0 +1,13 @@
+"""Parity fixture (reference tree): consumes the paired resilience streams."""
+
+from repro.sim import streams
+
+
+def assign_preferences(source, runtime, pids):
+    rng = source.stream(streams.TRACKER_SELECT)
+    return runtime.assign_preferences(pids, rng)
+
+
+def pex_round(source, runtime, pools):
+    rng = source.stream(streams.PEX_GOSSIP)
+    return runtime.sample(pools, rng)

@@ -193,8 +193,8 @@ class TestSpecGrammar:
             ("outage:soon", "bad fault window"),
             ("outage:3+many", "bad fault window"),
             ("loss:plenty", "bad loss rate"),
-            ("crash:5", "bad crash token"),
-            ("crash:5@x", "bad crash token"),
+            ("crash:5", "expected crash:COUNT@ROUND"),
+            ("crash:5@x", "bad crash parameters"),
             ("partition:3+2/two", "bad partition group"),
         ],
     )
@@ -210,6 +210,110 @@ class TestSpecGrammar:
         assert resolve_faults("outage:2") == schedule
         with pytest.raises(TypeError):
             resolve_faults(42)
+
+
+class TestSpecErrorPositions:
+    """Satellite: a parse error names the offending token and its position.
+
+    The message carries the token's 1-based ordinal, its text, and its
+    character span in the original spec (0-based, end-exclusive; commas
+    and surrounding whitespace excluded) -- a typo in a long composite
+    spec is locatable without bisecting it.  One case per malformed
+    clause of the grammar.
+    """
+
+    @pytest.mark.parametrize(
+        "spec, location, cause",
+        [
+            # Each grammar clause, malformed, as the sole token.
+            ("loss:bogus", "token 1 ('loss:bogus', chars 0-10)", "bad loss rate"),
+            (
+                "outage:3+many",
+                "token 1 ('outage:3+many', chars 0-13)",
+                "bad fault window",
+            ),
+            (
+                "outage:3+2/x",
+                "token 1 ('outage:3+2/x', chars 0-12)",
+                "bad outage replica",
+            ),
+            # Positions shift with the tokens that precede the bad one.
+            (
+                "outage:3+2, loss:bogus",
+                "token 2 ('loss:bogus', chars 12-22)",
+                "bad loss rate",
+            ),
+            (
+                "loss:0.1,crash:5",
+                "token 2 ('crash:5', chars 9-16)",
+                "expected crash:COUNT@ROUND",
+            ),
+            (
+                "loss:0.1, crash:5@x ,outage:9",
+                "token 2 ('crash:5@x', chars 10-19)",
+                "bad crash parameters",
+            ),
+            (
+                "outage:3,loss:0.5,partition:3+2/two",
+                "token 3 ('partition:3+2/two', chars 18-35)",
+                "bad partition group",
+            ),
+            (
+                "outage:3,meteor:9",
+                "token 2 ('meteor:9', chars 9-17)",
+                "unknown fault kind",
+            ),
+            # Empty tokens are skipped by both the ordinal and the span.
+            (
+                "outage:3,,  oops:1",
+                "token 2 ('oops:1', chars 12-18)",
+                "unknown fault kind",
+            ),
+        ],
+    )
+    def test_errors_locate_the_offending_token(self, spec, location, cause):
+        with pytest.raises(ValueError) as err:
+            make_faults(spec)
+        message = str(err.value)
+        assert location in message
+        assert cause in message
+
+
+class TestWindowEdgeCases:
+    """Satellite: zero-length (open-ended) and overlapping fault windows."""
+
+    def test_open_ended_outage_spec(self):
+        """``+0`` parses as an open-ended window: the outage never lifts."""
+        schedule = make_faults("outage:5+0")
+        assert not schedule.tracker_down(4)
+        assert schedule.tracker_down(5)
+        assert schedule.tracker_down(1_000_000)
+        assert schedule.events[0].window.end is None
+
+    def test_overlapping_outage_windows_union(self):
+        """Unlike partitions, outage windows may overlap; coverage unions."""
+        schedule = make_faults("outage:3+4,outage:5+4")
+        assert [r for r in range(1, 11) if schedule.tracker_down(r)] == [
+            3, 4, 5, 6, 7, 8,
+        ]
+
+    def test_overlapping_windows_on_distinct_replicas(self):
+        """Replica-targeted overlap only blacks out the overlap itself."""
+        runtime = FaultRuntime(make_faults("outage:3+4/0,outage:5+4/1"))
+        down_both = [
+            r for r in range(1, 11) if not runtime.tracker_up(r, replicas=2)
+        ]
+        assert down_both == [5, 6]  # only where the two windows intersect
+        # A single-replica reading sees the replica-0 window alone.
+        assert [r for r in range(1, 11) if not runtime.tracker_up(r)] == [
+            3, 4, 5, 6,
+        ]
+
+    def test_open_ended_and_windowed_loss_compose(self):
+        schedule = make_faults("loss:0.5,loss:0.5@3+2")
+        assert schedule.loss_rate(2) == pytest.approx(0.5)
+        assert schedule.loss_rate(3) == pytest.approx(0.75)
+        assert schedule.loss_rate(1_000) == pytest.approx(0.5)
 
 
 class TestFaultRuntime:
@@ -265,6 +369,33 @@ class TestFaultRuntime:
         # Window over: begin_round clears the assignment.
         runtime.begin_round(4)
         assert not runtime._partition_groups
+
+    def test_backoff_exhaustion_saturates_at_the_cap(self):
+        """Endless outage: retry gaps double, then pin at BACKOFF_CAP."""
+        runtime = FaultRuntime(make_faults("outage:1+0"))
+        runtime.queue_announce(7, 1)
+        due, gaps = 2, []
+        for _ in range(8):
+            runtime.reschedule_announce(7, due)
+            next_due, _ = runtime._pending_announces[7]
+            gaps.append(next_due - due)
+            due = next_due
+        assert gaps == [2, 4, 8, 8, 8, 8, 8, 8]
+        assert max(gaps) == BACKOFF_CAP
+        # The announce is still queued: exhaustion degrades, never drops.
+        assert runtime.announces_due(due) == [7]
+        assert runtime.blocks_early_exit(due)
+
+    def test_blocks_early_exit_under_open_ended_outage(self):
+        """A retry that can never succeed must still pin the round loop."""
+        runtime = FaultRuntime(make_faults("outage:3+0"))
+        assert not runtime.blocks_early_exit(1)
+        runtime.queue_announce(9, 3)
+        for round_index in (4, 50, 10_000):
+            assert not runtime.tracker_up(round_index)
+            assert runtime.blocks_early_exit(round_index)
+        runtime.clear_announce(9)  # the peer departed: nothing pending
+        assert not runtime.blocks_early_exit(10_001)
 
     def test_dropped_pairs_loss_draw_independent_of_partition(self):
         # Identical rngs: the loss batch must be the same whether or not

@@ -35,8 +35,12 @@ GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
 
 
 def serialize_swarm_result(result: SwarmResult) -> Dict:
-    """Full swarm outcome as a JSON-stable dict (doubles round-trip exactly)."""
-    return {
+    """Full swarm outcome as a JSON-stable dict (doubles round-trip exactly).
+
+    The ``resilience`` key appears only when the run had a non-trivial
+    policy, so every pre-resilience trace stays byte-identical.
+    """
+    data = {
         "completed": result.completed,
         "rounds_run": result.rounds_run,
         "arrivals": result.arrivals,
@@ -72,6 +76,17 @@ def serialize_swarm_result(result: SwarmResult) -> Dict:
             for pid, peer in sorted(result.peers.items())
         },
     }
+    if result.resilience is not None:
+        stats = result.resilience
+        data["resilience"] = {
+            "replica_announces": list(stats.replica_announces),
+            "failover_announces": stats.failover_announces,
+            "pex_introductions": stats.pex_introductions,
+            "pex_bootstraps": stats.pex_bootstraps,
+            "evictions": stats.evictions,
+            "purges": stats.purges,
+        }
+    return data
 
 
 def serialize_observed(observed: ObservedSwarm) -> Dict:
@@ -185,6 +200,30 @@ SWARM_TRACES = {
         ),
         "scenario": "flashcrowd",
         "seed": 109,
+    },
+    # Resilience traces: the policy travels as a preset string.  Failover
+    # pins the replica-targeted announce walk; the PEX trace blacks out
+    # every replica so gossip, bootstrap, eviction and purge all land in
+    # the trace (the crash victims never rejoin).
+    "swarm_failover": {
+        "config": dict(
+            leechers=10, seeds=1, piece_count=60, rounds=14,
+            start_completion=0.3, announce_size=6,
+            seed_upload_kbps=300.0, faults="outage:4+3,outage:8+2/1",
+            resilience="failover",
+        ),
+        "scenario": "poisson",
+        "seed": 110,
+    },
+    "swarm_pex_outage": {
+        "config": dict(
+            leechers=10, seeds=1, piece_count=60, rounds=14,
+            start_completion=0.3, announce_size=6,
+            seed_upload_kbps=300.0, faults="outage:5+4/all,crash:4@3",
+            resilience="full",
+        ),
+        "scenario": "poisson",
+        "seed": 111,
     },
 }
 

@@ -63,6 +63,8 @@ def test_domains_and_pairing_are_consistent() -> None:
         streams.FAULT_LOSS,
         streams.FAULT_CRASH,
         streams.FAULT_PARTITION,
+        streams.TRACKER_SELECT,
+        streams.PEX_GOSSIP,
     }
     for spec in streams.REGISTRY.values():
         assert spec.description, f"{spec.name} needs a description"

@@ -16,6 +16,8 @@ the fast engine's grow/tombstone array design has the most room to drift.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
@@ -32,6 +34,7 @@ from repro.bittorrent.fast.choking import batched_regular_slots
 from repro.bittorrent.fast.swarm import FastSwarmSimulator
 from repro.bittorrent.fast.tracker import FastTracker
 from repro.bittorrent.faults import FAULT_PRESET_NAMES, FaultEvent, FaultSchedule
+from repro.bittorrent.resilience import RESILIENCE_PRESET_NAMES, ResiliencePolicy
 from repro.bittorrent.scenarios import (
     ARRIVAL_PROCESSES,
     DEPARTURE_POLICIES,
@@ -64,6 +67,7 @@ def assert_results_identical(reference: SwarmResult, fast: SwarmResult) -> None:
     assert reference.departures == fast.departures
     assert reference.collaboration_volume == fast.collaboration_volume
     assert reference.tft_reciprocal_rounds == fast.tft_reciprocal_rounds
+    assert reference.resilience == fast.resilience
     assert set(reference.peers) == set(fast.peers)
     for pid in reference.peers:
         a, b = reference.peers[pid], fast.peers[pid]
@@ -665,6 +669,147 @@ class TestFaultEquivalence:
             start_completion=start_completion,
             announce_size=5,
             faults=faults,
+        )
+        run_both(config, seed=seed, scenario=scenario)
+
+
+@st.composite
+def resilience_policies(draw) -> ResiliencePolicy:
+    """Non-trivial ResiliencePolicies across all three defenses."""
+    return ResiliencePolicy(
+        trackers=draw(st.sampled_from([1, 2, 3])),
+        pex=draw(st.booleans()),
+        pex_sample=draw(st.sampled_from([1, 4, 8])),
+        keepalive_timeout=draw(st.sampled_from([0, 2, 5])),
+    )
+
+
+class TestResilienceEquivalence:
+    """Every resilience policy must be bit-identical across engines."""
+
+    BASE = dict(
+        leechers=20,
+        seeds=2,
+        piece_count=600,
+        rounds=20,
+        start_completion=0.3,
+        seed_upload_kbps=300.0,
+    )
+
+    def test_trivial_policy_matches_no_resilience(self):
+        """The default policy draws nothing: byte-identical to resilience=None."""
+        plain, _ = run_both(SwarmConfig(**self.BASE), seed=211)
+        gated, _ = run_both(
+            SwarmConfig(resilience=ResiliencePolicy(), **self.BASE), seed=211
+        )
+        assert plain.resilience is None and gated.resilience is None
+        assert_results_identical(plain, gated)
+
+    @pytest.mark.parametrize(
+        "preset", [p for p in RESILIENCE_PRESET_NAMES if p != "off"]
+    )
+    def test_resilience_presets_under_faults(self, preset):
+        config = SwarmConfig(
+            faults="outage:3+4/all,crash:3@2~6", resilience=preset, **self.BASE
+        )
+        reference, _ = run_both(config, seed=223, scenario="poisson")
+        assert reference.resilience is not None
+
+    def test_failover_absorbs_partial_outage(self):
+        """A replica-0 outage costs a failover walk, not tracker service."""
+        faulty = SwarmConfig(
+            faults="outage:4+6", resilience="failover", **self.BASE
+        )
+        clean = SwarmConfig(resilience="failover", **self.BASE)
+        faulty_ref, _ = run_both(faulty, seed=227, scenario="poisson")
+        clean_ref, _ = run_both(clean, seed=227, scenario="poisson")
+        assert faulty_ref.resilience.failover_announces > 0
+        # The swarm dynamics are those of the fault-free run: only the
+        # replica accounting differs.
+        assert_results_identical(
+            replace(faulty_ref, config=clean_ref.config, resilience=None),
+            replace(clean_ref, resilience=None),
+        )
+
+    def test_full_outage_degenerates_to_defenseless(self):
+        """All replicas down == the single-tracker outage behaviour."""
+        armed = SwarmConfig(
+            faults="outage:4+4/all", resilience="failover", **self.BASE
+        )
+        bare = SwarmConfig(faults="outage:4+4", **self.BASE)
+        armed_ref, _ = run_both(armed, seed=229, scenario="poisson")
+        bare_ref, _ = run_both(bare, seed=229, scenario="poisson")
+        assert armed_ref.resilience.failover_announces == 0
+        armed_ref = replace(armed_ref, config=bare_ref.config, resilience=None)
+        assert_results_identical(armed_ref, bare_ref)
+
+    def test_pex_gossips_through_total_outage(self):
+        config = SwarmConfig(
+            faults="outage:3+5/all", resilience="pex", **self.BASE
+        )
+        reference, _ = run_both(config, seed=233, scenario="poisson")
+        stats = reference.resilience
+        assert stats.pex_introductions > 0
+        assert stats.pex_bootstraps > 0  # poisson arrivals mid-blackout
+
+    def test_eviction_purges_stale_registrations(self):
+        config = SwarmConfig(
+            faults="crash:4@3", resilience="trackers:1,keepalive:3", **self.BASE
+        )
+        reference, _ = run_both(config, seed=239)
+        stats = reference.resilience
+        assert stats.evictions == 4
+        assert stats.purges == 4
+
+    def test_rejoin_cancels_eviction(self):
+        config = SwarmConfig(
+            faults="crash:4@3~2", resilience="trackers:1,keepalive:5", **self.BASE
+        )
+        reference, _ = run_both(config, seed=241)
+        assert reference.resilience.evictions == 0
+
+    def test_replica_target_beyond_policy_rejected(self):
+        config = SwarmConfig(faults="outage:3+2/2", resilience="trackers:2", **self.BASE)
+        with pytest.raises(ValueError, match="targets tracker replica 2"):
+            SwarmSimulator(config, seed=1)
+        with pytest.raises(ValueError, match="targets tracker replica 2"):
+            SwarmSimulator(config, seed=1, engine="fast")
+
+    @pytest.mark.slow
+    @_settings
+    @given(
+        resilience=resilience_policies(),
+        faults=fault_schedules(),
+        scenario=scenario_schedules(),
+        leechers=st.integers(min_value=4, max_value=16),
+        seeds=st.integers(min_value=0, max_value=2),
+        piece_count=st.integers(min_value=8, max_value=40),
+        rounds=st.integers(min_value=2, max_value=14),
+        start_completion=st.sampled_from([0.0, 0.3, 0.7]),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_resilience_equivalence_property(
+        self,
+        resilience,
+        faults,
+        scenario,
+        leechers,
+        seeds,
+        piece_count,
+        rounds,
+        start_completion,
+        seed,
+    ):
+        """fast == reference bit-for-bit over policies x faults x scenarios."""
+        config = SwarmConfig(
+            leechers=leechers,
+            seeds=seeds,
+            piece_count=piece_count,
+            rounds=rounds,
+            start_completion=start_completion,
+            announce_size=5,
+            faults=faults,
+            resilience=resilience,
         )
         run_both(config, seed=seed, scenario=scenario)
 

@@ -590,14 +590,17 @@ class TestObserverProperties:
     @given(
         faults=fault_schedules(),
         scenario=scenario_schedules(),
+        resilience=st.sampled_from(
+            [None, "failover", "pex", "full", "trackers:2,pex:4,keepalive:2"]
+        ),
         seed=st.integers(min_value=0, max_value=10_000),
         engine=st.sampled_from(["reference", "fast"]),
     )
     @_settings
     def test_observer_invisible_over_fault_scenarios(
-        self, faults, scenario, seed, engine
+        self, faults, scenario, resilience, seed, engine
     ):
-        """Observing a faulty swarm must not perturb it either."""
+        """Observing a faulty (and defended) swarm must not perturb it."""
         config = SwarmConfig(
             leechers=8,
             seeds=1,
@@ -606,6 +609,7 @@ class TestObserverProperties:
             start_completion=0.25,
             announce_size=5,
             faults=faults,
+            resilience=resilience,
         )
         observer = ObserverConfig(
             scrape_interval=1, poll_interval=2, poll_budget=4
